@@ -1,0 +1,90 @@
+"""E12 — emulator fit and generation cost scaling.
+
+Section III-A quotes O(T) per-location trend fits, O(T L^3) for the SHT of
+the record, O(L^4 T) for the empirical covariance and O(L^6) for its
+Cholesky; emulation generation costs O(L^3 T).  This benchmark measures the
+fit and generation wall-clock at two band-limits and record lengths and
+checks the expected growth pattern, plus the storage summary produced by
+the fitted emulator.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import ClimateEmulator, EmulatorConfig
+from repro.data import Era5LikeConfig, Era5LikeGenerator
+from repro.storage import format_bytes
+
+
+def _make_sims(lmax, n_years, steps):
+    cfg = Era5LikeConfig(lmax=lmax, n_years=n_years, steps_per_year=steps,
+                         n_ensemble=2, forcing_growth=1.0)
+    return Era5LikeGenerator(cfg, seed=5).generate()
+
+
+def _make_emulator(lmax):
+    return ClimateEmulator(
+        EmulatorConfig(lmax=lmax, n_harmonics=2, var_order=2,
+                       tile_size=max(16, lmax * lmax // 4), rho_grid=(0.5,))
+    )
+
+
+@pytest.mark.benchmark(group="emulator-fit")
+@pytest.mark.parametrize("lmax", [8, 16])
+def test_emulator_fit_cost(benchmark, lmax):
+    sims = _make_sims(lmax, n_years=3, steps=24)
+    emulator = _make_emulator(lmax)
+
+    benchmark.pedantic(emulator.fit, args=(sims,), iterations=1, rounds=1)
+
+    summary = emulator.storage_summary()
+    print_table(
+        f"E12 — emulator fit at L={lmax} (T={sims.n_times}, R=2)",
+        ["L", "coefficients", "parameters", "parameter bytes", "training bytes (f32)",
+         "compression"],
+        [[lmax, lmax * lmax, summary["n_parameters"],
+          format_bytes(summary["parameter_bytes"]),
+          format_bytes(summary["raw_bytes_float32"]),
+          f"{summary['compression_factor']:.1f}x"]],
+    )
+    assert emulator.is_fitted
+
+
+@pytest.mark.benchmark(group="emulator-fit")
+def test_emulation_generation_cost(benchmark, bench_emulator, bench_simulations):
+    """Generation is the cheap path: O(L^3 T) with no refitting."""
+    rng = np.random.default_rng(1)
+
+    out = benchmark(bench_emulator.emulate, 1, bench_simulations.n_times, None, rng)
+
+    assert out.data.shape[1] == bench_simulations.n_times
+    print_table(
+        "E12 — single-member emulation generation",
+        ["time steps", "grid", "data points"],
+        [[out.n_times, f"{out.grid.ntheta}x{out.grid.nphi}", out.n_data_points]],
+    )
+
+
+@pytest.mark.benchmark(group="emulator-fit")
+def test_fit_cost_grows_with_record_length(benchmark):
+    """Doubling T roughly doubles the fit cost (the O(T) / O(L^4 T) terms)."""
+    import time
+
+    def measure():
+        timings = {}
+        for n_years in (2, 4):
+            sims = _make_sims(10, n_years=n_years, steps=24)
+            emulator = _make_emulator(10)
+            start = time.perf_counter()
+            emulator.fit(sims)
+            timings[n_years] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(measure, iterations=1, rounds=1)
+    print_table(
+        "E12 — fit wall-clock vs record length (L=10)",
+        ["years", "seconds"],
+        [[y, f"{t:.3f}"] for y, t in timings.items()],
+    )
+    assert timings[4] > timings[2] * 0.8

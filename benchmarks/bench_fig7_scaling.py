@@ -1,0 +1,101 @@
+"""E6 — Figure 7: weak and strong scaling on Summit.
+
+Paper results: weak scaling holds 92-111% per-GPU efficiency from 384 to
+12,288 V100 GPUs for every precision variant; strong scaling from 3,072 to
+12,288 GPUs retains ~55% (DP), ~72% (DP/SP), ~60% (DP/SP/HP) and ~56%
+(DP/HP) per-GPU efficiency.  This benchmark regenerates both studies with
+the performance model and adds a small real-execution cross-check with the
+discrete-event simulator.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.linalg import TiledSymmetricMatrix, generate_cholesky_tasks
+from repro.linalg.policies import VARIANTS
+from repro.runtime import DistributedSimulator
+from repro.systems import SUMMIT, CholeskyPerformanceModel
+
+WEAK_GPUS = [384, 1536, 3072, 6144, 12288]
+STRONG_GPUS = [3072, 6144, 12288]
+PAPER_STRONG = {"DP": 0.55, "DP/SP": 0.72, "DP/SP/HP": 0.60, "DP/HP": 0.56}
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_weak_scaling(benchmark):
+    model = CholeskyPerformanceModel(SUMMIT)
+
+    def sweep():
+        return {v: model.weak_scaling(WEAK_GPUS, v) for v in VARIANTS}
+
+    studies = benchmark(sweep)
+    rows = []
+    for variant, study in studies.items():
+        eff = study.efficiencies()
+        rows.append([variant] + [f"{100 * e:.0f}%" for e in eff])
+    print_table(
+        "Fig. 7 (left) — weak scaling efficiency per GPU (baseline: 384 GPUs; paper: 92-111%)",
+        ["variant"] + [str(g) for g in WEAK_GPUS],
+        rows,
+    )
+    for study in studies.values():
+        eff = study.efficiencies()
+        assert all(0.7 < e < 1.25 for e in eff)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_strong_scaling(benchmark):
+    model = CholeskyPerformanceModel(SUMMIT)
+    fixed_size = model.memory_bound_matrix_size(512)
+
+    def sweep():
+        return {v: model.strong_scaling(fixed_size, STRONG_GPUS, v) for v in VARIANTS}
+
+    studies = benchmark(sweep)
+    rows = []
+    final_eff = {}
+    for variant, study in studies.items():
+        eff = study.efficiencies()
+        final_eff[variant] = eff[-1]
+        rows.append([variant] + [f"{100 * e:.0f}%" for e in eff] + [f"{100 * PAPER_STRONG[variant]:.0f}%"])
+    print_table(
+        f"Fig. 7 (right) — strong scaling efficiency (fixed size {fixed_size/1e6:.2f}M)",
+        ["variant"] + [str(g) for g in STRONG_GPUS] + ["paper @12288"],
+        rows,
+    )
+    for variant, eff in final_eff.items():
+        assert 0.35 < eff < 0.85
+    # Efficiency decreases monotonically for every variant.
+    for study in studies.values():
+        eff = study.efficiencies()
+        assert eff[0] >= eff[1] >= eff[2]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_simulator_cross_check(benchmark, bench_covariance):
+    """The discrete-event simulator shows the same qualitative behaviour:
+    per-worker efficiency degrades when the same DAG is spread over more
+    workers (strong scaling), for a real (small) covariance DAG."""
+    tiled = TiledSymmetricMatrix.from_dense(bench_covariance, 18, "DP/HP")
+    tasks = generate_cholesky_tasks(tiled)
+    tile_bytes = tiled.tile_bytes_map()
+
+    def run(workers):
+        sim = DistributedSimulator(SUMMIT.subset(max(1, workers // 6)), workers=workers,
+                                   task_overhead_us=5.0)
+        return sim.run(tasks, tile_bytes)
+
+    small = benchmark.pedantic(run, args=(2,), iterations=1, rounds=1)
+    large = run(16)
+    eff = large.efficiency_vs(small)
+    print_table(
+        "Fig. 7 — simulator cross-check (real 144x144 covariance DAG)",
+        ["workers", "makespan (ms)", "per-worker GFlop/s", "efficiency vs 2 workers"],
+        [
+            [2, f"{small.makespan_s * 1e3:.2f}", f"{small.achieved_gflops / 2:.2f}", "100%"],
+            [16, f"{large.makespan_s * 1e3:.2f}", f"{large.achieved_gflops / 16:.2f}", f"{100 * eff:.0f}%"],
+        ],
+    )
+    assert large.makespan_s <= small.makespan_s
+    assert eff < 1.0

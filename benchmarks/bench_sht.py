@@ -1,0 +1,75 @@
+"""E11 — spherical harmonic transform cost and accuracy scaling.
+
+Section III-A.2 gives the transform a per-time-slice cost of O(L^3) after
+an O(L^2 log L) FFT stage, fully parallel across time slices.  This
+benchmark measures the forward/inverse wall-clock scaling in L, the
+round-trip accuracy, and the batched (many-time-slice) throughput that the
+emulator fit relies on.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.sht import Grid, SHTPlan
+
+
+@pytest.mark.benchmark(group="sht")
+@pytest.mark.parametrize("lmax", [8, 16, 32])
+def test_sht_roundtrip_scaling(benchmark, lmax, bench_rng):
+    plan = SHTPlan(lmax=lmax, grid=Grid.for_bandlimit(lmax))
+    coeffs = plan.random_coefficients(bench_rng)
+    field = plan.inverse(coeffs)
+
+    recovered = benchmark(plan.forward, field)
+
+    err = float(np.max(np.abs(recovered - coeffs)))
+    print_table(
+        f"E11 — forward SHT at L={lmax}",
+        ["L", "coefficients", "grid", "roundtrip max err"],
+        [[lmax, plan.n_coeffs, f"{plan.grid.ntheta}x{plan.grid.nphi}", f"{err:.2e}"]],
+    )
+    assert err < 1e-9
+
+
+@pytest.mark.benchmark(group="sht")
+def test_sht_batched_throughput(benchmark, bench_rng):
+    """Many time slices are transformed in one vectorised call."""
+    lmax, n_times = 16, 64
+    plan = SHTPlan(lmax=lmax, grid=Grid.for_bandlimit(lmax))
+    coeffs = plan.random_coefficients(bench_rng, shape=(n_times,))
+    fields = plan.inverse(coeffs)
+
+    recovered = benchmark(plan.forward, fields)
+
+    assert recovered.shape == (n_times, plan.n_coeffs)
+    assert np.max(np.abs(recovered - coeffs)) < 1e-9
+
+
+@pytest.mark.benchmark(group="sht")
+def test_sht_cost_growth_with_bandlimit(benchmark):
+    """Wall-clock grows super-linearly but sub-O(L^4) across band-limits."""
+    timings = {}
+
+    def measure():
+        rng = np.random.default_rng(0)
+        for lmax in (8, 16, 32):
+            plan = SHTPlan(lmax=lmax, grid=Grid.for_bandlimit(lmax))
+            field = plan.inverse(plan.random_coefficients(rng))
+            start = time.perf_counter()
+            for _ in range(3):
+                plan.forward(field)
+            timings[lmax] = (time.perf_counter() - start) / 3
+        return timings
+
+    results = benchmark.pedantic(measure, iterations=1, rounds=1)
+    rows = [[l, f"{t * 1e3:.2f} ms"] for l, t in results.items()]
+    print_table("E11 — forward SHT wall-clock vs band-limit", ["L", "time"], rows)
+    growth = results[32] / max(results[8], 1e-9)
+    # Doubling L twice should cost much more than 4x (super-linear) but the
+    # precomputed-plan transform stays far below the naive O(L^4) growth
+    # (which would be 256x).
+    assert growth > 3.0
+    assert growth < 300.0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Daily versus hourly temporal resolution (the tau = 365 / 8760 code path).
+
+The paper trains two emulators: one on 83 years of daily data and one on 35
+years of hourly data, differing only in the temporal resolution parameter
+``tau`` of Eq. (2) and in the record length.  This example fits both
+configurations on synthetic data (with a proportionally scaled calendar),
+generates emulations from each, and compares the consistency diagnostics
+and the temporal autocorrelation structure they capture.
+
+Run with:  python examples/daily_vs_hourly.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ClimateEmulator, EmulatorConfig
+from repro.data import Era5LikeConfig, Era5LikeGenerator
+from repro.stats import consistency_report, temporal_autocorrelation
+
+
+def run_case(label: str, steps_per_year: int, n_years: int, diurnal: float) -> None:
+    print(f"\n--- {label}: tau = {steps_per_year} steps/year, {n_years} years ---")
+    sims = Era5LikeGenerator(
+        Era5LikeConfig(
+            lmax=12, n_years=n_years, steps_per_year=steps_per_year, n_ensemble=2,
+            diurnal_amplitude_k=diurnal, ar_coefficient=0.7, forcing_growth=0.8,
+        ),
+        seed=21,
+    ).generate()
+    emulator = ClimateEmulator(
+        EmulatorConfig(lmax=12, n_harmonics=3 if diurnal > 0 else 2, var_order=2,
+                       tile_size=48, precision_variant="DP/SP")
+    )
+    emulator.fit(sims)
+    emulations = emulator.emulate(n_realizations=2, rng=np.random.default_rng(4))
+
+    report = consistency_report(sims, emulations, lmax=12)
+    print(f"  consistency: mean diff {report.global_mean_diff_k:+.3f} K, "
+          f"std ratio {report.global_std_ratio:.3f}, KS {report.ks_distance:.3f} "
+          f"-> {'consistent' if report.is_consistent() else 'inconsistent'}")
+
+    sim_acf = temporal_autocorrelation(sims.data, max_lag=3, grid=sims.grid)
+    emu_acf = temporal_autocorrelation(emulations.data, max_lag=3, grid=sims.grid)
+    print(f"  global-mean autocorrelation lags 1-3:")
+    print(f"    simulations: {np.round(sim_acf, 3)}")
+    print(f"    emulations:  {np.round(emu_acf, 3)}")
+    print(f"  data points: {sims.n_data_points:,} (simulations), "
+          f"{emulations.n_data_points:,} (emulations)")
+
+
+def main() -> None:
+    # The synthetic calendar is shorter than the real one so the example runs
+    # in seconds: the "daily-like" case uses a coarse year, the "hourly-like"
+    # case a finer year with a diurnal harmonic, exercising both tau paths.
+    run_case("daily-like record (long, coarse tau)", steps_per_year=24, n_years=6, diurnal=0.0)
+    run_case("hourly-like record (short, fine tau)", steps_per_year=96, n_years=2, diurnal=2.0)
+    print("\nBoth temporal resolutions run through the identical pipeline; only")
+    print("tau and the number of harmonics K differ, as in the paper (Section IV-A).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that the
+package can be installed editable in offline environments where the PEP 517
+editable path is unavailable (``pip install -e . --no-build-isolation
+--no-use-pep517``).
+"""
+from setuptools import setup
+
+setup()

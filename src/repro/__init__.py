@@ -1,0 +1,28 @@
+"""repro — reproduction of the SC 2024 exascale climate emulator.
+
+This package reimplements, in pure Python/NumPy, the system described in
+"Boosting Earth System Model Outputs And Saving PetaBytes in Their Storage
+Using Exascale Climate Emulators" (Abdulah et al., SC 2024):
+
+* :mod:`repro.sht` — spherical harmonic transform substrate (Eqs. 3-8).
+* :mod:`repro.core` — the climate emulator itself: distributed-lag mean
+  trend, spectral stochastic model with a diagonal VAR, innovation
+  covariance and Cholesky factorisation, and emulation generation.
+* :mod:`repro.linalg` — tile-based mixed-precision dense linear algebra
+  (DP / DP-SP / DP-SP-HP / DP-HP Cholesky variants).
+* :mod:`repro.runtime` — a PaRSEC-like task runtime: DAG construction,
+  schedulers, a discrete-event distributed-machine simulator, and a local
+  numerical executor.
+* :mod:`repro.systems` — machine models of Frontier, Alps, Leonardo and
+  Summit plus the performance model used by the benchmark harness.
+* :mod:`repro.data` — synthetic ERA5-like data generation, radiative
+  forcing trajectories and ensembles.
+* :mod:`repro.storage` — storage accounting behind the "saving petabytes"
+  claims.
+* :mod:`repro.stats` — statistical-consistency diagnostics between
+  simulations and emulations.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

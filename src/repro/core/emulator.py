@@ -1,0 +1,210 @@
+"""The end-to-end climate emulator API.
+
+:class:`ClimateEmulator` ties the pieces together exactly as the paper's
+pipeline (Fig. 3) does:
+
+1. fit the per-location distributed-lag mean trend against the radiative
+   forcing (Eq. 2),
+2. estimate the per-location scale ``sigma`` and standardise the residuals,
+3. transform the standardised residuals to the spherical-harmonic domain,
+   fit the diagonal VAR(P), estimate the innovation covariance ``U``
+   (Eq. 9) and factorise it with the mixed-precision tile Cholesky,
+4. generate emulations by sampling the spectral model and undoing the
+   standardisation and the trend removal (Eq. 1).
+
+The emulator also reports its own parameter footprint, which is the basis
+of the "saving petabytes" storage analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import EmulatorConfig
+from repro.core.generator import EmulationGenerator
+from repro.core.scale import ScaleField
+from repro.core.spectral_model import SpectralStochasticModel
+from repro.core.trend import MeanTrendModel, TrendFit
+from repro.data.ensemble import ClimateEnsemble
+
+__all__ = ["ClimateEmulator", "EmulatorConfig"]
+
+
+@dataclass
+class ClimateEmulator:
+    """Spherical-harmonic stochastic climate emulator.
+
+    Parameters
+    ----------
+    config:
+        Emulator hyper-parameters; a default small configuration is used
+        when omitted.
+
+    Examples
+    --------
+    >>> from repro.core import ClimateEmulator, EmulatorConfig
+    >>> from repro.data import Era5LikeConfig, Era5LikeGenerator
+    >>> sims = Era5LikeGenerator(Era5LikeConfig(lmax=8, n_years=3,
+    ...     steps_per_year=12, n_ensemble=2), seed=1).generate()
+    >>> emulator = ClimateEmulator(EmulatorConfig(lmax=8, var_order=1,
+    ...     n_harmonics=1, tile_size=16))
+    >>> emulator.fit(sims)                                   # doctest: +ELLIPSIS
+    ClimateEmulator(...)
+    >>> emulations = emulator.emulate(n_realizations=1)
+    >>> emulations.data.shape[2:] == sims.grid.shape
+    True
+    """
+
+    config: EmulatorConfig = field(default_factory=EmulatorConfig)
+
+    trend_model: MeanTrendModel | None = field(init=False, default=None, repr=False)
+    trend_fit: TrendFit | None = field(init=False, default=None, repr=False)
+    scale: ScaleField | None = field(init=False, default=None, repr=False)
+    spectral_model: SpectralStochasticModel | None = field(init=False, default=None, repr=False)
+    training: ClimateEnsemble | None = field(init=False, default=None, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, ensemble: ClimateEnsemble) -> "ClimateEmulator":
+        """Train the emulator on a simulation ensemble."""
+        cfg = self.config
+        if not ensemble.grid.supports_bandlimit(cfg.lmax):
+            raise ValueError(
+                f"grid {ensemble.grid.shape} cannot support band-limit {cfg.lmax}"
+            )
+        self.training = ensemble
+
+        self.trend_model = MeanTrendModel(
+            steps_per_year=ensemble.steps_per_year,
+            n_harmonics=cfg.n_harmonics,
+            rho_grid=cfg.rho_grid,
+            use_distributed_lag=cfg.use_distributed_lag,
+        )
+        self.trend_fit = self.trend_model.fit(ensemble.data, ensemble.forcing_annual)
+        residuals = self.trend_model.residuals(
+            ensemble.data, ensemble.forcing_annual, self.trend_fit
+        )
+
+        self.scale = ScaleField.from_residuals(residuals)
+        standardized = self.scale.standardize(residuals)
+
+        self.spectral_model = SpectralStochasticModel(
+            lmax=cfg.lmax,
+            grid=ensemble.grid,
+            var_order=cfg.var_order,
+            tile_size=cfg.tile_size,
+            precision_variant=cfg.precision_variant,
+            covariance_jitter=cfg.covariance_jitter,
+        )
+        self.spectral_model.fit(standardized)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self.spectral_model is not None and self.spectral_model.cholesky is not None
+
+    def _require_fit(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("the emulator must be fitted before use")
+
+    # ------------------------------------------------------------------ #
+    # Emulation
+    # ------------------------------------------------------------------ #
+    def generator(self) -> EmulationGenerator:
+        """The emulation generator built from the fitted components."""
+        self._require_fit()
+        assert self.training is not None
+        return EmulationGenerator(
+            trend_model=self.trend_model,
+            trend_fit=self.trend_fit,
+            scale=self.scale,
+            spectral_model=self.spectral_model,
+            grid=self.training.grid,
+            steps_per_year=self.training.steps_per_year,
+        )
+
+    def emulate(
+        self,
+        n_realizations: int = 1,
+        n_times: int | None = None,
+        annual_forcing: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        include_nugget: bool = True,
+    ) -> ClimateEnsemble:
+        """Generate emulations statistically consistent with the training data.
+
+        Parameters
+        ----------
+        n_realizations:
+            Number of emulation members.
+        n_times:
+            Emulation length (defaults to the training length).
+        annual_forcing:
+            Forcing trajectory (defaults to the training forcing, i.e. an
+            in-sample emulation; pass a scenario trajectory to project).
+        rng:
+            Random generator.
+        include_nugget:
+            Include the truncation nugget.
+        """
+        self._require_fit()
+        assert self.training is not None
+        n_times = n_times or self.training.n_times
+        forcing = (
+            np.asarray(annual_forcing, dtype=np.float64)
+            if annual_forcing is not None
+            else self.training.forcing_annual
+        )
+        return self.generator().generate(
+            n_realizations=n_realizations,
+            n_times=n_times,
+            annual_forcing=forcing,
+            rng=rng,
+            include_nugget=include_nugget,
+            start_year=self.training.start_year,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def parameter_count(self) -> int:
+        """Total number of stored emulator parameters."""
+        self._require_fit()
+        assert self.trend_fit is not None and self.scale is not None
+        trend_params = int(np.prod(self.trend_fit.coefficients.shape)) + int(
+            np.prod(self.trend_fit.rho.shape)
+        )
+        scale_params = int(np.prod(self.scale.sigma.shape))
+        return trend_params + scale_params + self.spectral_model.parameter_count()
+
+    def parameter_bytes(self, bytes_per_value: int = 8) -> int:
+        """Storage footprint of the emulator parameters."""
+        return self.parameter_count() * bytes_per_value
+
+    def storage_summary(self) -> dict:
+        """Raw-training-data versus emulator-parameter storage comparison."""
+        self._require_fit()
+        assert self.training is not None
+        raw = self.training.storage_bytes(np.float32)
+        params = self.parameter_bytes()
+        return {
+            "raw_bytes_float32": raw,
+            "parameter_bytes": params,
+            "compression_factor": raw / params if params else float("inf"),
+            "n_data_points": self.training.n_data_points,
+            "n_parameters": self.parameter_count(),
+        }
+
+    def describe(self) -> dict:
+        """Configuration plus fit-state summary."""
+        info = {"config": self.config.describe(), "fitted": self.is_fitted}
+        if self.is_fitted:
+            assert self.spectral_model is not None
+            info["cholesky_variant"] = self.spectral_model.cholesky.variant
+            info["n_coeffs"] = self.config.n_coeffs
+            info["storage"] = self.storage_summary()
+        return info

@@ -1,0 +1,174 @@
+"""The spectral stochastic model (paper Section III-A.1 and III-A.3).
+
+The standardised residual fields are transformed to the spherical-harmonic
+domain, packed into the real coefficient vector ``f_t in R^{L^2}``, fitted
+with a diagonal VAR(P), and the VAR innovations' empirical covariance
+``U`` (Eq. 9) is factorised with the mixed-precision tile Cholesky.  The
+part of the field the band-limited expansion cannot represent is captured
+by the per-location nugget variance ``v^2(theta, phi)``, which re-enters
+as white noise when emulations are generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.var import DiagonalVAR
+from repro.linalg.cholesky import CholeskyResult, MixedPrecisionCholesky
+from repro.sht.grid import Grid
+from repro.sht.realform import complex_from_real, real_from_complex
+from repro.sht.transform import SHTPlan
+
+__all__ = ["SpectralStochasticModel"]
+
+
+@dataclass
+class SpectralStochasticModel:
+    """Spectral model of the standardised stochastic component.
+
+    Parameters
+    ----------
+    lmax:
+        Spherical-harmonic band-limit ``L``.
+    grid:
+        Spatial grid of the training data.
+    var_order:
+        Diagonal VAR order ``P``.
+    tile_size / precision_variant / covariance_jitter:
+        Parameters of the mixed-precision Cholesky of the innovation
+        covariance.
+    """
+
+    lmax: int
+    grid: Grid
+    var_order: int = 2
+    tile_size: int = 32
+    precision_variant: str = "DP"
+    covariance_jitter: float = 1e-6
+
+    plan: SHTPlan = field(init=False, repr=False)
+    var: DiagonalVAR = field(init=False, repr=False)
+    covariance: np.ndarray | None = field(init=False, default=None, repr=False)
+    cholesky: CholeskyResult | None = field(init=False, default=None, repr=False)
+    nugget_std: np.ndarray | None = field(init=False, default=None, repr=False)
+    initial_state: np.ndarray | None = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.plan = SHTPlan(lmax=self.lmax, grid=self.grid)
+        self.var = DiagonalVAR(order=self.var_order)
+
+    # ------------------------------------------------------------------ #
+    # Forward modelling of the training residuals
+    # ------------------------------------------------------------------ #
+    def spectral_series(self, standardized: np.ndarray) -> np.ndarray:
+        """Real spectral coefficient series ``f_t`` for each ensemble member.
+
+        Parameters
+        ----------
+        standardized:
+            Standardised residual fields of shape ``(R, T, ntheta, nphi)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Real array of shape ``(R, T, L**2)``.
+        """
+        standardized = np.asarray(standardized, dtype=np.float64)
+        if standardized.ndim == 3:
+            standardized = standardized[None, ...]
+        coeffs = self.plan.forward(standardized)
+        return real_from_complex(coeffs)
+
+    def truncation_residual(
+        self, standardized: np.ndarray, spectral: np.ndarray
+    ) -> np.ndarray:
+        """Grid-space residual unexplained by the band-limited expansion."""
+        standardized = np.asarray(standardized, dtype=np.float64)
+        if standardized.ndim == 3:
+            standardized = standardized[None, ...]
+        reconstructed = self.plan.inverse(complex_from_real(spectral))
+        return standardized - reconstructed
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, standardized: np.ndarray) -> "SpectralStochasticModel":
+        """Fit the VAR, innovation covariance, Cholesky factor and nugget."""
+        standardized = np.asarray(standardized, dtype=np.float64)
+        if standardized.ndim == 3:
+            standardized = standardized[None, ...]
+        n_ens, n_times = standardized.shape[:2]
+        if n_times <= self.var_order + 1:
+            raise ValueError("record too short for the requested VAR order")
+
+        spectral = self.spectral_series(standardized)          # (R, T, K)
+        self.var.fit(spectral)
+        innovations = self.var.innovations(spectral)           # (R, T-P, K)
+
+        # Empirical innovation covariance (Eq. 9), pooled over ensembles.
+        flat = innovations.reshape(-1, innovations.shape[-1])
+        n_samples = flat.shape[0]
+        cov = flat.T @ flat / max(n_samples, 1)
+        k = cov.shape[0]
+        if n_samples < k or self.covariance_jitter > 0:
+            # "minor perturbation along the diagonal ... to ensure it
+            # remains positive definite" (Section III-A.3).
+            cov = cov + np.eye(k) * self.covariance_jitter * float(np.mean(np.diag(cov)) or 1.0)
+        self.covariance = cov
+
+        solver = MixedPrecisionCholesky(
+            tile_size=self.tile_size,
+            variant=self.precision_variant,
+            jitter=self.covariance_jitter,
+        )
+        self.cholesky = solver.factorize(cov)
+
+        truncation = self.truncation_residual(standardized, spectral)
+        self.nugget_std = truncation.std(axis=(0, 1), ddof=1)
+        self.initial_state = spectral[:, -max(self.var_order, 1):, :].mean(axis=0)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Emulation support
+    # ------------------------------------------------------------------ #
+    def sample_innovations(
+        self, rng: np.random.Generator, n_realizations: int, n_times: int
+    ) -> np.ndarray:
+        """Draw ``xi_t ~ N(0, U)`` using the mixed-precision factor."""
+        if self.cholesky is None:
+            raise RuntimeError("fit() must be called first")
+        k = self.cholesky.factor.n
+        z = rng.standard_normal((n_realizations, n_times, k))
+        return z @ self.cholesky.lower().T
+
+    def generate_standardized(
+        self,
+        rng: np.random.Generator,
+        n_realizations: int,
+        n_times: int,
+        include_nugget: bool = True,
+    ) -> np.ndarray:
+        """Generate standardised stochastic fields ``Z_t`` (Section III-B)."""
+        if self.cholesky is None or self.nugget_std is None:
+            raise RuntimeError("fit() must be called first")
+        xi = self.sample_innovations(rng, n_realizations, n_times)
+        series = self.var.simulate(xi, initial=self.initial_state)
+        fields = self.plan.inverse(complex_from_real(series))
+        if include_nugget:
+            fields = fields + self.nugget_std * rng.standard_normal(fields.shape)
+        return fields
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def parameter_count(self) -> int:
+        """Number of stored model parameters (drives the storage savings)."""
+        if self.covariance is None or self.nugget_std is None:
+            raise RuntimeError("fit() must be called first")
+        k = self.covariance.shape[0]
+        cov_params = k * (k + 1) // 2
+        var_params = self.var_order * k
+        nugget_params = int(np.prod(self.nugget_std.shape))
+        return cov_params + var_params + nugget_params

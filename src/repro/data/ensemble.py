@@ -1,0 +1,127 @@
+"""Ensemble container for gridded spatio-temporal climate data.
+
+The emulator consumes data organised exactly as in the paper's Section
+II-B: ``y^{(r)}_t(theta_i, phi_j)`` for ensemble members ``r = 1..R``, time
+points ``t = 1..T`` and an ``N_theta x N_phi`` spatial grid, together with
+the annual radiative-forcing trajectory the mean-trend model regresses on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sht.grid import Grid
+
+__all__ = ["ClimateEnsemble"]
+
+
+@dataclass
+class ClimateEnsemble:
+    """A simulation ensemble with its coordinates and forcing.
+
+    Parameters
+    ----------
+    data:
+        Array of shape ``(R, T, ntheta, nphi)`` holding the fields (Kelvin
+        for temperature).
+    grid:
+        Spatial grid.
+    forcing_annual:
+        Annual radiative forcing, length ``ceil(T / steps_per_year)``.
+    steps_per_year:
+        Temporal resolution ``tau`` of Eq. (2): 12 for monthly, 365 for
+        daily, 8760 for hourly (tests use smaller synthetic values).
+    start_year:
+        Calendar year of the first time step (metadata only).
+    """
+
+    data: np.ndarray
+    grid: Grid
+    forcing_annual: np.ndarray
+    steps_per_year: int
+    start_year: int = 1940
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.data.ndim != 4:
+            raise ValueError("data must have shape (R, T, ntheta, nphi)")
+        if self.data.shape[2:] != self.grid.shape:
+            raise ValueError(
+                f"data spatial shape {self.data.shape[2:]} does not match grid {self.grid.shape}"
+            )
+        if self.steps_per_year < 1:
+            raise ValueError("steps_per_year must be positive")
+        needed_years = int(np.ceil(self.n_times / self.steps_per_year))
+        if len(self.forcing_annual) < needed_years:
+            raise ValueError(
+                f"forcing covers {len(self.forcing_annual)} years but data spans {needed_years}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Shape helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def n_ensemble(self) -> int:
+        """Number of ensemble members ``R``."""
+        return self.data.shape[0]
+
+    @property
+    def n_times(self) -> int:
+        """Number of time steps ``T``."""
+        return self.data.shape[1]
+
+    @property
+    def n_years(self) -> float:
+        """Length of the record in years."""
+        return self.n_times / self.steps_per_year
+
+    @property
+    def n_data_points(self) -> int:
+        """Total data points ``R * T * N_theta * N_phi`` (paper's headline counts)."""
+        return int(np.prod(self.data.shape))
+
+    def forcing_per_step(self) -> np.ndarray:
+        """Forcing value seen by each time step (``x_{ceil(t/tau)}``)."""
+        years = np.arange(self.n_times) // self.steps_per_year
+        return np.asarray(self.forcing_annual, dtype=np.float64)[years]
+
+    # ------------------------------------------------------------------ #
+    # Views and statistics
+    # ------------------------------------------------------------------ #
+    def member(self, r: int) -> np.ndarray:
+        """Fields of ensemble member ``r`` with shape ``(T, ntheta, nphi)``."""
+        return self.data[r]
+
+    def subset_time(self, start: int, stop: int) -> "ClimateEnsemble":
+        """A new ensemble restricted to time steps ``start:stop``."""
+        if not (0 <= start < stop <= self.n_times):
+            raise ValueError("invalid time range")
+        return ClimateEnsemble(
+            data=self.data[:, start:stop],
+            grid=self.grid,
+            forcing_annual=self.forcing_annual,
+            steps_per_year=self.steps_per_year,
+            start_year=self.start_year,
+            metadata=dict(self.metadata),
+        )
+
+    def ensemble_mean(self) -> np.ndarray:
+        """Mean over ensemble members, shape ``(T, ntheta, nphi)``."""
+        return self.data.mean(axis=0)
+
+    def time_mean(self) -> np.ndarray:
+        """Mean over ensemble and time, shape ``(ntheta, nphi)``."""
+        return self.data.mean(axis=(0, 1))
+
+    def global_mean_series(self) -> np.ndarray:
+        """Area-weighted global mean time series, shape ``(R, T)``."""
+        w = self.grid.area_weights()
+        return np.tensordot(self.data, w, axes=([2, 3], [0, 1]))
+
+    def storage_bytes(self, dtype: np.dtype | str | None = None) -> int:
+        """Bytes required to store the raw ensemble at a given dtype."""
+        dt = np.dtype(dtype) if dtype is not None else self.data.dtype
+        return self.n_data_points * dt.itemsize

@@ -1,0 +1,65 @@
+"""Synthetic land/sea mask.
+
+The anisotropy (longitude dependence) of surface temperature comes largely
+from the land/ocean contrast: land warms and cools faster, has a larger
+diurnal and seasonal cycle, and carries more small-scale variance.  To give
+the synthetic ERA5-like fields the same kind of longitudinally varying
+structure, this module builds a smooth "land fraction" field from a small
+number of continent-like Gaussian blobs on the sphere.  The field is
+deterministic (fixed blob catalogue) so all components of the package see a
+consistent geography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sht.grid import Grid
+
+__all__ = ["Continent", "CONTINENTS", "land_fraction"]
+
+
+@dataclass(frozen=True)
+class Continent:
+    """A continent-like bump: centre (colatitude, longitude) and extents."""
+
+    name: str
+    colat_deg: float
+    lon_deg: float
+    colat_extent_deg: float
+    lon_extent_deg: float
+    amplitude: float = 1.0
+
+
+#: A coarse, fictional-but-plausible continental configuration.
+CONTINENTS: tuple[Continent, ...] = (
+    Continent("laurentia", colat_deg=40.0, lon_deg=265.0, colat_extent_deg=22.0, lon_extent_deg=35.0),
+    Continent("amazonia", colat_deg=100.0, lon_deg=300.0, colat_extent_deg=20.0, lon_extent_deg=20.0),
+    Continent("eurasia", colat_deg=38.0, lon_deg=80.0, colat_extent_deg=22.0, lon_extent_deg=60.0),
+    Continent("africa", colat_deg=85.0, lon_deg=20.0, colat_extent_deg=28.0, lon_extent_deg=22.0),
+    Continent("australis", colat_deg=115.0, lon_deg=135.0, colat_extent_deg=13.0, lon_extent_deg=18.0),
+    Continent("antarctica", colat_deg=172.0, lon_deg=0.0, colat_extent_deg=16.0, lon_extent_deg=360.0),
+    Continent("boreal-cap", colat_deg=8.0, lon_deg=0.0, colat_extent_deg=10.0, lon_extent_deg=360.0, amplitude=0.7),
+)
+
+
+def land_fraction(grid: Grid, continents: tuple[Continent, ...] = CONTINENTS) -> np.ndarray:
+    """Smooth land-fraction field in ``[0, 1]`` on ``grid``.
+
+    Each continent contributes a periodic-in-longitude Gaussian bump; the
+    sum is squashed through a logistic so values saturate near one over
+    continental interiors and near zero over open ocean.
+    """
+    theta, phi = grid.mesh()
+    theta_deg = np.degrees(theta)
+    phi_deg = np.degrees(phi)
+    total = np.zeros(grid.shape, dtype=np.float64)
+    for c in continents:
+        dtheta = (theta_deg - c.colat_deg) / c.colat_extent_deg
+        dphi = phi_deg - c.lon_deg
+        dphi = (dphi + 180.0) % 360.0 - 180.0
+        dphi = dphi / c.lon_extent_deg
+        total += c.amplitude * np.exp(-0.5 * (dtheta ** 2 + dphi ** 2))
+    return 1.0 / (1.0 + np.exp(-6.0 * (total - 0.45)))

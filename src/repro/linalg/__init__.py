@@ -1,0 +1,67 @@
+"""Tile-based mixed-precision dense linear algebra.
+
+The emulator's heaviest kernel is the Cholesky factorisation of the
+``L^2 x L^2`` innovation covariance matrix (Eq. 9).  The paper performs it
+with a tile algorithm whose tiles are stored and computed at different
+precisions (double, single, half) according to a band policy, executed as a
+task DAG by PaRSEC.  This subpackage reproduces the numerical side of that
+machinery with NumPy:
+
+* :mod:`repro.linalg.precision` — the precision descriptors (fp64 / fp32 /
+  fp16), conversion helpers and byte accounting.
+* :mod:`repro.linalg.flops` — kernel and factorisation flop counts.
+* :mod:`repro.linalg.tile` / :mod:`repro.linalg.tiled_matrix` — tile storage
+  and the tiled symmetric matrix container.
+* :mod:`repro.linalg.policies` — the precision-assignment policies: DP,
+  DP/SP, DP/SP/HP, DP/HP band variants plus a data-adaptive (tile-centric)
+  policy.
+* :mod:`repro.linalg.cholesky` — the tiled Cholesky factorisation: task
+  generation (POTRF / TRSM / SYRK / GEMM), real mixed-precision execution
+  through the local runtime executor, sender- versus receiver-side
+  conversion accounting, and dense reference algorithms.
+"""
+
+from repro.linalg.precision import Precision, PRECISIONS
+from repro.linalg.flops import (
+    cholesky_flops,
+    gemm_flops,
+    potrf_flops,
+    syrk_flops,
+    trsm_flops,
+)
+from repro.linalg.policies import (
+    PrecisionPolicy,
+    VARIANTS,
+    adaptive_policy,
+    band_policy,
+    variant_policy,
+)
+from repro.linalg.tile import Tile
+from repro.linalg.tiled_matrix import TiledSymmetricMatrix
+from repro.linalg.cholesky import (
+    CholeskyPlan,
+    MixedPrecisionCholesky,
+    dense_cholesky,
+    generate_cholesky_tasks,
+)
+
+__all__ = [
+    "CholeskyPlan",
+    "MixedPrecisionCholesky",
+    "PRECISIONS",
+    "Precision",
+    "PrecisionPolicy",
+    "Tile",
+    "TiledSymmetricMatrix",
+    "VARIANTS",
+    "adaptive_policy",
+    "band_policy",
+    "cholesky_flops",
+    "dense_cholesky",
+    "gemm_flops",
+    "generate_cholesky_tasks",
+    "potrf_flops",
+    "syrk_flops",
+    "trsm_flops",
+    "variant_policy",
+]

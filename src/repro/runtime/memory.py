@@ -1,0 +1,78 @@
+"""Per-process memory accounting for heterogeneous (mixed-precision) tiles.
+
+PaRSEC had to grow dynamic, sender-driven memory allocation because tiles
+of a regularly distributed matrix no longer have a uniform size once each
+tile may be stored at a different precision (Section III-C).  The
+:class:`MemoryTracker` reproduces the accounting side of that feature: it
+tracks live allocations per process, the high-water mark, and whether an
+allocation would exceed the process's GPU memory, which the simulator and
+the performance model use to size the largest feasible problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryTracker", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation exceeds the configured capacity."""
+
+
+@dataclass
+class MemoryTracker:
+    """Track live bytes and the high-water mark for one process.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Maximum allowed live bytes (``None`` disables the limit).
+    """
+
+    capacity_bytes: float | None = None
+    live_bytes: float = 0.0
+    high_water_bytes: float = 0.0
+    allocations: dict = field(default_factory=dict)
+    failed_allocations: int = 0
+
+    def allocate(self, key, nbytes: float, strict: bool = True) -> None:
+        """Register an allocation of ``nbytes`` under ``key``.
+
+        Re-allocating an existing key first frees the previous size (this is
+        what happens when a tile is converted to another precision in
+        place).
+        """
+        if key in self.allocations:
+            self.free(key)
+        if (
+            self.capacity_bytes is not None
+            and self.live_bytes + nbytes > self.capacity_bytes
+        ):
+            self.failed_allocations += 1
+            if strict:
+                raise OutOfMemoryError(
+                    f"allocation of {nbytes:.3g} B exceeds capacity "
+                    f"{self.capacity_bytes:.3g} B (live {self.live_bytes:.3g} B)"
+                )
+        self.allocations[key] = nbytes
+        self.live_bytes += nbytes
+        self.high_water_bytes = max(self.high_water_bytes, self.live_bytes)
+
+    def free(self, key) -> None:
+        """Release the allocation registered under ``key``."""
+        nbytes = self.allocations.pop(key, 0.0)
+        self.live_bytes -= nbytes
+
+    def utilisation(self) -> float:
+        """Fraction of capacity currently in use (0 when no limit is set)."""
+        if not self.capacity_bytes:
+            return 0.0
+        return self.live_bytes / self.capacity_bytes
+
+    def reset(self) -> None:
+        """Clear all allocations and statistics."""
+        self.allocations.clear()
+        self.live_bytes = 0.0
+        self.high_water_bytes = 0.0
+        self.failed_allocations = 0

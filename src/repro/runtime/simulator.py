@@ -1,0 +1,216 @@
+"""Discrete-event simulation of task DAGs on distributed machines.
+
+The simulator replays a task graph on a machine model: each task is placed
+on a worker (GPU) according to the scheduler policy, its duration is the
+kernel flop count divided by the GPU's sustained rate at the task's compute
+precision, and its start is delayed until all producing tasks have finished
+and their tiles have been transferred (point-to-point or broadcast,
+depending on fan-out) under the communication model.
+
+The output :class:`SimulationReport` carries the quantities the paper
+reports: makespan, achieved flop rate, per-worker utilisation, total
+communication volume, and the per-process memory high-water mark.  The
+simulator is used at moderate DAG sizes to validate and calibrate the
+closed-form performance model in :mod:`repro.systems.perf_model`, and to run
+the ablations (collective priority, sender- versus receiver-side
+conversion, scheduling policy) that do not need full machine scale.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.communication import CommunicationModel
+from repro.runtime.dag import TaskGraph, build_task_graph
+from repro.runtime.machine import MachineSpec
+from repro.runtime.memory import MemoryTracker
+from repro.runtime.scheduler import ListScheduler, SchedulePolicy
+from repro.runtime.task import Task, TileRef
+
+__all__ = ["SimulationReport", "DistributedSimulator"]
+
+
+@dataclass
+class SimulationReport:
+    """Results of one simulated execution."""
+
+    makespan_s: float
+    total_flops: float
+    n_tasks: int
+    n_workers: int
+    worker_busy_s: list[float]
+    comm_bytes: float
+    comm_time_s: float
+    memory_high_water_bytes: dict[int, float] = field(default_factory=dict)
+    task_finish_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def achieved_gflops(self) -> float:
+        """Sustained rate over the whole execution in GFlop/s."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_flops / self.makespan_s / 1.0e9
+
+    @property
+    def achieved_pflops(self) -> float:
+        """Sustained rate in PFlop/s."""
+        return self.achieved_gflops / 1.0e6
+
+    @property
+    def average_utilisation(self) -> float:
+        """Mean fraction of the makespan each worker spent computing."""
+        if self.makespan_s <= 0 or not self.worker_busy_s:
+            return 0.0
+        return float(np.mean(self.worker_busy_s)) / self.makespan_s
+
+    def efficiency_vs(self, reference: "SimulationReport") -> float:
+        """Per-worker efficiency relative to a reference run (scaling studies)."""
+        if self.n_workers == 0 or reference.n_workers == 0:
+            return 0.0
+        mine = self.achieved_gflops / self.n_workers
+        ref = reference.achieved_gflops / reference.n_workers
+        return mine / ref if ref > 0 else 0.0
+
+
+class DistributedSimulator:
+    """Simulate a task DAG on a distributed GPU machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine allocation (its GPU count bounds the worker count).
+    comm:
+        Communication model; defaults to one built from ``machine``.
+    scheduler:
+        Worker-selection policy; defaults to owner-computes over a square-ish
+        process grid when an owner map is provided, otherwise
+        earliest-available.
+    workers:
+        Number of workers (GPUs) to simulate; defaults to the machine's GPU
+        count, capped to keep the simulation tractable.
+    task_overhead_us:
+        Fixed per-task runtime overhead (task activation, kernel launch).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        comm: CommunicationModel | None = None,
+        scheduler: ListScheduler | None = None,
+        workers: int | None = None,
+        task_overhead_us: float = 15.0,
+        track_memory: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.comm = comm or CommunicationModel(machine)
+        self.workers = workers if workers is not None else machine.total_gpus
+        if self.workers < 1:
+            raise ValueError("at least one worker required")
+        self.scheduler = scheduler or ListScheduler(policy=SchedulePolicy.EARLIEST)
+        self.task_overhead_s = task_overhead_us * 1.0e-6
+        self.track_memory = track_memory
+
+    # ------------------------------------------------------------------ #
+    def _duration(self, task: Task) -> float:
+        rate = self.machine.node.gpu.effective_rate(task.precision) * 1.0e9
+        return self.task_overhead_s + task.flops / rate
+
+    def _worker_node(self, worker: int) -> int:
+        return worker // self.machine.node.gpus_per_node
+
+    def _transfer_time(self, nbytes: float, src: int, dst: int, fanout: int) -> float:
+        if src == dst or nbytes <= 0:
+            return 0.0
+        if self._worker_node(src) == self._worker_node(dst):
+            return self.comm.intra_node(nbytes)
+        if fanout > 1:
+            return self.comm.broadcast(nbytes, fanout)
+        return self.comm.point_to_point(nbytes)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        tasks: TaskGraph | list[Task],
+        tile_bytes: dict[TileRef, float] | None = None,
+    ) -> SimulationReport:
+        """Simulate the execution of ``tasks`` and return the report.
+
+        ``tile_bytes`` maps tile references to their size; tasks whose read
+        tiles live on another worker pay the corresponding transfer cost.
+        """
+        graph = tasks if isinstance(tasks, TaskGraph) else build_task_graph(tasks)
+        order = graph.topological_order()
+        tile_bytes = tile_bytes or {}
+
+        worker_available = [0.0] * self.workers
+        worker_busy = [0.0] * self.workers
+        finish: dict[str, float] = {}
+        placed: dict[str, int] = {}
+        writer_of: dict[TileRef, str] = {}
+        fanout: dict[str, int] = defaultdict(int)
+        for t in order:
+            for ref in t.reads:
+                if ref in writer_of:
+                    fanout[writer_of[ref]] += 1
+            for ref in t.writes:
+                writer_of[ref] = t.name
+
+        # Re-derive writers in program order for the actual simulation pass.
+        writer_of.clear()
+        comm_bytes = 0.0
+        comm_time = 0.0
+        memory: dict[int, MemoryTracker] = defaultdict(MemoryTracker)
+
+        for task in order:
+            worker = self.scheduler.select_worker(task, worker_available)
+            worker = worker % self.workers
+            placed[task.name] = worker
+
+            ready = 0.0
+            for ref in task.reads:
+                producer = writer_of.get(ref)
+                if producer is None:
+                    continue
+                src = placed[producer]
+                nbytes = float(tile_bytes.get(ref, 0.0))
+                xfer = self._transfer_time(nbytes, src, worker, fanout[producer])
+                if src != worker:
+                    comm_bytes += nbytes
+                    comm_time += xfer
+                ready = max(ready, finish[producer] + xfer)
+            for ref in task.writes:
+                producer = writer_of.get(ref)
+                if producer is not None:
+                    ready = max(ready, finish[producer])
+
+            start = max(ready, worker_available[worker])
+            duration = self._duration(task)
+            end = start + duration
+            worker_available[worker] = end
+            worker_busy[worker] += duration
+            finish[task.name] = end
+
+            if self.track_memory:
+                tracker = memory[worker]
+                for ref in task.writes:
+                    tracker.allocate(ref, float(tile_bytes.get(ref, 0.0)), strict=False)
+            for ref in task.writes:
+                writer_of[ref] = task.name
+
+        makespan = max(finish.values()) if finish else 0.0
+        return SimulationReport(
+            makespan_s=makespan,
+            total_flops=graph.total_flops(),
+            n_tasks=graph.n_tasks,
+            n_workers=self.workers,
+            worker_busy_s=worker_busy,
+            comm_bytes=comm_bytes,
+            comm_time_s=comm_time,
+            memory_high_water_bytes={
+                w: m.high_water_bytes for w, m in memory.items()
+            },
+            task_finish_s=finish,
+        )

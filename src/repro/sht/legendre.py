@@ -1,0 +1,115 @@
+"""Normalised associated Legendre functions.
+
+The spherical harmonics used throughout the emulator are the orthonormal
+complex harmonics
+
+.. math::
+
+   Y_{\\ell,m}(\\theta, \\phi) = \\sqrt{\\frac{2\\ell+1}{4\\pi}
+       \\frac{(\\ell-m)!}{(\\ell+m)!}} P_\\ell^m(\\cos\\theta) e^{i m \\phi},
+
+with the Condon–Shortley phase included in :math:`P_\\ell^m`.  The value at
+``phi = 0`` is real and equals the *fully normalised* associated Legendre
+function :math:`\\bar{P}_{\\ell m}(\\cos\\theta)` for ``m >= 0``; negative
+orders follow from ``Y_{l,-m}(theta, 0) = (-1)^m Y_{l,m}(theta, 0)``.
+
+The recursions used here are the standard stable ones (increasing degree for
+fixed order, seeded on the sectoral band ``l == m``), written to operate on
+vectorised ``x = cos(theta)`` arrays.  They are accurate to close to machine
+precision for degrees well beyond anything exercised in this repository
+(``L`` up to a few thousand).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["legendre_normalized", "ylm_theta0", "ylm_matrix_theta0"]
+
+_INV_SQRT_4PI = 0.5 / np.sqrt(np.pi)
+
+
+def legendre_normalized(lmax: int, x: np.ndarray) -> np.ndarray:
+    """Fully normalised associated Legendre functions ``Pbar_{l,m}(x)``.
+
+    Parameters
+    ----------
+    lmax:
+        Maximum degree (inclusive).  Degrees ``0..lmax`` and orders
+        ``0..l`` are returned.
+    x:
+        Argument array (``cos(theta)``), any shape, values in ``[-1, 1]``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(lmax + 1, lmax + 1) + x.shape`` where entry
+        ``[l, m]`` holds :math:`\\bar{P}_{\\ell m}(x)` (zero for ``m > l``).
+        The normalisation is such that
+        ``integral over the sphere of (Pbar_{l,m} e^{i m phi})^2 = 1``,
+        i.e. ``Pbar_{l,m}(cos theta) = Y_{l,m}(theta, 0)`` for ``m >= 0``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if lmax < 0:
+        raise ValueError("lmax must be non-negative")
+    if np.any(np.abs(x) > 1.0 + 1e-12):
+        raise ValueError("Legendre argument must lie in [-1, 1]")
+    x = np.clip(x, -1.0, 1.0)
+
+    out = np.zeros((lmax + 1, lmax + 1) + x.shape, dtype=np.float64)
+    sin_theta = np.sqrt(np.maximum(0.0, 1.0 - x * x))
+
+    # Sectoral seed: Pbar_{0,0} = 1/sqrt(4 pi).
+    out[0, 0] = _INV_SQRT_4PI
+    # Sectoral band l == m (includes the Condon-Shortley phase).
+    for m in range(1, lmax + 1):
+        out[m, m] = -np.sqrt((2.0 * m + 1.0) / (2.0 * m)) * sin_theta * out[m - 1, m - 1]
+
+    # First off-sectoral band l == m + 1.
+    for m in range(0, lmax):
+        out[m + 1, m] = np.sqrt(2.0 * m + 3.0) * x * out[m, m]
+
+    # General three-term recursion in degree for fixed order.
+    for m in range(0, lmax + 1):
+        for ell in range(m + 2, lmax + 1):
+            a = np.sqrt((4.0 * ell * ell - 1.0) / (ell * ell - m * m))
+            b = np.sqrt(((ell - 1.0) ** 2 - m * m) / (4.0 * (ell - 1.0) ** 2 - 1.0))
+            out[ell, m] = a * (x * out[ell - 1, m] - b * out[ell - 2, m])
+    return out
+
+
+def ylm_theta0(lmax: int, theta: np.ndarray) -> np.ndarray:
+    """Evaluate ``Y_{l,m}(theta, 0)`` for all degrees and orders.
+
+    Returns an array of shape ``(lmax + 1, 2 * lmax + 1) + theta.shape``
+    where the order axis is indexed by ``m + lmax`` for
+    ``m = -lmax .. lmax``.  Entries with ``|m| > l`` are zero.
+
+    Negative orders use ``Y_{l,-m}(theta, 0) = (-1)^m Y_{l,m}(theta, 0)``.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    pbar = legendre_normalized(lmax, np.cos(theta))
+    out = np.zeros((lmax + 1, 2 * lmax + 1) + theta.shape, dtype=np.float64)
+    for ell in range(lmax + 1):
+        for m in range(0, ell + 1):
+            out[ell, lmax + m] = pbar[ell, m]
+            if m > 0:
+                out[ell, lmax - m] = ((-1) ** m) * pbar[ell, m]
+    return out
+
+
+def ylm_matrix_theta0(lmax: int, theta: np.ndarray) -> np.ndarray:
+    """``Y_{l,m}(theta, 0)`` flattened over the coefficient index.
+
+    Returns an array of shape ``(num_coeffs, theta.size)`` where the first
+    axis is the flat ``(l, m)`` index ``l*l + l + m`` used by the transforms
+    (see :func:`repro.sht.transform.coeff_index`).
+    """
+    theta = np.atleast_1d(np.asarray(theta, dtype=np.float64))
+    full = ylm_theta0(lmax, theta)
+    n = (lmax + 1) ** 2
+    out = np.zeros((n, theta.size), dtype=np.float64)
+    for ell in range(lmax + 1):
+        for m in range(-ell, ell + 1):
+            out[ell * ell + ell + m] = full[ell, lmax + m]
+    return out

@@ -1,0 +1,403 @@
+"""Fast spherical harmonic transform (Eqs. 4-8 of the paper).
+
+The forward (analysis) transform of a field ``Z(theta_i, phi_j)`` sampled on
+an equiangular grid proceeds in four steps:
+
+1. an FFT along longitude produces
+   ``G_m(theta_i) = integral Z(theta_i, phi) exp(-i m phi) dphi``,
+2. ``G_m`` is extended to colatitudes in ``(pi, 2*pi)`` through
+   ``G_m(2*pi - theta) = (-1)**m G_m(theta)`` and an FFT along the extended
+   colatitude yields the Fourier coefficients ``K_{m, m'}`` of Eq. (6),
+3. the closed-form integrals ``I(m' + m'')`` of Eq. (8) contract ``K`` into
+   ``W_{m, m''} = sum_{m'} K_{m, m'} I(m' + m'')``,
+4. the Wigner-d matrices at ``pi/2`` assemble the coefficients
+   ``f_{l,m} = sum_{m''} S_{l, m, m''} W_{m, m''}`` with
+   ``S_{l, m, m''} = i^{-m} sqrt((2l+1)/(4*pi)) Delta^l_{m'', 0}
+   Delta^l_{m'', m}`` (Eq. 7).
+
+The inverse (synthesis) transform runs the same factorisation backwards:
+Wigner-d contraction to the colatitude Fourier coefficients, FFT to
+``G_m(theta_i)``, FFT to the field.  Both directions cost
+``O(L^3 + L^2 log L)`` per time slice and are embarrassingly parallel over
+time slices (paper Section III-A.2); the batched implementations below
+vectorise over an arbitrary number of leading axes.
+
+All data-independent quantities (Wigner-d matrices, the ``I`` matrix, FFT
+frequency bookkeeping) live in :class:`SHTPlan` and are computed once, which
+is the pre-computation strategy the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sht.grid import Grid
+from repro.sht.quadrature import integral_matrix
+from repro.sht.wigner import wigner_d_pi2_all
+
+__all__ = [
+    "coeff_index",
+    "coeff_lm",
+    "num_coeffs",
+    "SHTPlan",
+    "sht_forward",
+    "sht_inverse",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Coefficient indexing
+# --------------------------------------------------------------------------- #
+def num_coeffs(lmax: int) -> int:
+    """Number of spherical-harmonic coefficients below band-limit ``lmax``.
+
+    Degrees ``0 .. lmax - 1`` with orders ``-l .. l`` give ``lmax**2``
+    coefficients, which is the length of the spectral vector ``f_t`` in the
+    paper (the ``L^2 x T`` matrix ``F``).
+    """
+    if lmax < 1:
+        raise ValueError("lmax must be >= 1")
+    return lmax * lmax
+
+
+def coeff_index(ell: int, m: int) -> int:
+    """Flat index of coefficient ``(l, m)``: ``l*l + l + m``."""
+    if abs(m) > ell:
+        raise ValueError(f"invalid order m={m} for degree l={ell}")
+    return ell * ell + ell + m
+
+
+def coeff_lm(index: int) -> tuple[int, int]:
+    """Inverse of :func:`coeff_index`: returns ``(l, m)`` for a flat index."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    ell = int(np.floor(np.sqrt(index)))
+    m = index - ell * ell - ell
+    return ell, m
+
+
+def degrees_and_orders(lmax: int) -> tuple[np.ndarray, np.ndarray]:
+    """Arrays of degree and order for every flat coefficient index."""
+    idx = np.arange(num_coeffs(lmax))
+    ells = np.floor(np.sqrt(idx)).astype(int)
+    ms = idx - ells * ells - ells
+    return ells, ms
+
+
+# --------------------------------------------------------------------------- #
+# Transform plan
+# --------------------------------------------------------------------------- #
+@dataclass
+class SHTPlan:
+    """Precomputed operators for the fast transform at a fixed band-limit.
+
+    Parameters
+    ----------
+    lmax:
+        Band-limit ``L``; coefficients cover degrees ``0 .. L-1``.
+    grid:
+        Equiangular grid the transform operates on.  It must satisfy
+        ``ntheta >= L + 1`` and ``nphi >= 2L - 1``.
+
+    Notes
+    -----
+    The plan stores the Wigner-d matrices at ``pi/2`` for every degree
+    (``O(L^3)`` memory, as in the paper's pre-computation strategy), the
+    ``(2L-1) x (2L-1)`` matrix ``I(m' + m'')``, and index maps between FFT
+    bins and signed orders.
+    """
+
+    lmax: int
+    grid: Grid
+    _delta: list[np.ndarray] = field(init=False, repr=False)
+    _imat: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.lmax < 1:
+            raise ValueError("lmax must be >= 1")
+        if not self.grid.supports_bandlimit(self.lmax):
+            raise ValueError(
+                f"grid {self.grid.shape} cannot support band-limit {self.lmax}: "
+                f"requires ntheta >= {self.lmax + 1} and nphi >= {2 * self.lmax - 1}"
+            )
+        self._delta = wigner_d_pi2_all(self.lmax)
+        self._imat = integral_matrix(self.lmax)
+
+    # -- derived sizes ----------------------------------------------------- #
+    @property
+    def n_orders(self) -> int:
+        """Number of signed orders, ``2L - 1``."""
+        return 2 * self.lmax - 1
+
+    @property
+    def n_coeffs(self) -> int:
+        """Length of the coefficient vector, ``L**2``."""
+        return num_coeffs(self.lmax)
+
+    @property
+    def ntheta_ext(self) -> int:
+        """Length of the extended colatitude grid, ``2*ntheta - 2``."""
+        return 2 * self.grid.ntheta - 2
+
+    @property
+    def wigner(self) -> list[np.ndarray]:
+        """Wigner-d matrices at ``pi/2`` for degrees ``0 .. L-1``."""
+        return self._delta
+
+    @property
+    def integral(self) -> np.ndarray:
+        """Matrix ``I(m' + m'')`` of Eq. (8)."""
+        return self._imat
+
+    def orders(self) -> np.ndarray:
+        """Signed orders ``-(L-1) .. L-1`` in ascending order."""
+        return np.arange(-(self.lmax - 1), self.lmax)
+
+    # -- internal helpers --------------------------------------------------- #
+    def _fft_bins_for_orders(self, nfft: int) -> np.ndarray:
+        """FFT bin index for each signed order on a length-``nfft`` FFT."""
+        m = self.orders()
+        return np.where(m >= 0, m, nfft + m)
+
+    # ------------------------------------------------------------------ #
+    # Forward (analysis)
+    # ------------------------------------------------------------------ #
+    def longitude_fourier(self, data: np.ndarray) -> np.ndarray:
+        """Step 1: ``G_m(theta)`` for all signed orders.
+
+        Parameters
+        ----------
+        data:
+            Real or complex field(s) of shape ``(..., ntheta, nphi)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``G`` of shape ``(..., ntheta, 2L-1)`` with the order axis in
+            ascending signed order.
+        """
+        nphi = self.grid.nphi
+        spec = np.fft.fft(data, axis=-1) * (2.0 * np.pi / nphi)
+        bins = self._fft_bins_for_orders(nphi)
+        return spec[..., bins]
+
+    def colatitude_fourier(self, g: np.ndarray) -> np.ndarray:
+        """Steps 2: extended-colatitude FFT producing ``K_{m, m'}``.
+
+        Parameters
+        ----------
+        g:
+            ``G_m(theta_i)`` of shape ``(..., ntheta, 2L-1)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``K`` of shape ``(..., 2L-1, 2L-1)`` indexed ``[..., m, m']``.
+        """
+        ntheta = self.grid.ntheta
+        next_ = self.ntheta_ext
+        m = self.orders()
+        parity = np.where(m % 2 == 0, 1.0, -1.0)
+
+        shape = g.shape[:-2] + (next_, self.n_orders)
+        g_ext = np.empty(shape, dtype=np.complex128)
+        g_ext[..., :ntheta, :] = g
+        # G_m(2*pi - theta) = (-1)**m G_m(theta); extended index i maps back
+        # to ntheta-grid index (next - i) for i in [ntheta, next).
+        mirror = g[..., ntheta - 2:0:-1, :]
+        g_ext[..., ntheta:, :] = parity * mirror
+
+        k_full = np.fft.fft(g_ext, axis=-2) / next_
+        bins = self._fft_bins_for_orders(next_)
+        k = k_full[..., bins, :]
+        # axes currently (..., m', m); transpose to (..., m, m')
+        return np.swapaxes(k, -1, -2)
+
+    def wigner_contraction_forward(self, k: np.ndarray) -> np.ndarray:
+        """Steps 3-4: contract ``K`` into the coefficient vector (Eq. 7)."""
+        lmax = self.lmax
+        w = k @ self._imat  # (..., m, m'')
+        out_shape = k.shape[:-2] + (self.n_coeffs,)
+        coeffs = np.zeros(out_shape, dtype=np.complex128)
+        centre = lmax - 1  # index of order 0 on the signed-order axis
+        m_all = self.orders()
+        i_pow_neg_m = (1j) ** (-m_all)
+        for ell in range(lmax):
+            delta = self._delta[ell]  # (2l+1, 2l+1) indexed [m''+l, m+l]
+            norm = np.sqrt((2.0 * ell + 1.0) / (4.0 * np.pi))
+            sl = slice(centre - ell, centre + ell + 1)
+            # W restricted to |m| <= l and |m''| <= l
+            w_sub = w[..., sl, sl]  # (..., m, m'')
+            delta0 = delta[:, ell]  # Delta^l_{m'', 0}
+            weighted = w_sub * delta0  # broadcast over m''
+            # sum over m'': result (..., m)
+            summed = np.einsum("...ab,ba->...a", weighted, delta)
+            phases = i_pow_neg_m[centre - ell: centre + ell + 1]
+            block = norm * phases * summed
+            start = ell * ell
+            coeffs[..., start:start + 2 * ell + 1] = block
+        return coeffs
+
+    def forward(self, data: np.ndarray) -> np.ndarray:
+        """Full analysis: grid field(s) to spectral coefficients.
+
+        Parameters
+        ----------
+        data:
+            Field(s) of shape ``(..., ntheta, nphi)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Complex coefficients of shape ``(..., L**2)`` in flat ``(l, m)``
+            order.
+        """
+        data = np.asarray(data)
+        if data.shape[-2:] != self.grid.shape:
+            raise ValueError(
+                f"field shape {data.shape[-2:]} does not match grid {self.grid.shape}"
+            )
+        g = self.longitude_fourier(data)
+        k = self.colatitude_fourier(g)
+        return self.wigner_contraction_forward(k)
+
+    # ------------------------------------------------------------------ #
+    # Inverse (synthesis)
+    # ------------------------------------------------------------------ #
+    def wigner_contraction_inverse(self, coeffs: np.ndarray) -> np.ndarray:
+        """Map coefficients to colatitude Fourier coefficients ``C_{m, m'}``.
+
+        ``H_m(theta) = sum_l f_{l,m} Y_{l,m}(theta, 0)
+                     = sum_{m'} C_{m, m'} exp(i m' theta)``.
+        """
+        lmax = self.lmax
+        centre = lmax - 1
+        shape = coeffs.shape[:-1] + (self.n_orders, self.n_orders)
+        c = np.zeros(shape, dtype=np.complex128)
+        m_all = self.orders()
+        i_pow_neg_m = (1j) ** (-m_all)
+        for ell in range(lmax):
+            delta = self._delta[ell]
+            norm = np.sqrt((2.0 * ell + 1.0) / (4.0 * np.pi))
+            start = ell * ell
+            f_l = coeffs[..., start:start + 2 * ell + 1]  # (..., m)
+            delta0 = delta[:, ell]  # (m'',)
+            # S_{l, m, m'} = i^{-m} norm * Delta_{m', 0} * Delta_{m', m}
+            # C_{m, m'} += f_{l,m} S_{l,m,m'}
+            contrib = np.einsum("...a,ba->...ab", f_l, delta * delta0[:, None])
+            phases = i_pow_neg_m[centre - ell: centre + ell + 1]
+            contrib = norm * contrib * phases[:, None]
+            sl = slice(centre - ell, centre + ell + 1)
+            c[..., sl, sl] += contrib
+        return c
+
+    def synthesis_from_fourier(self, c: np.ndarray, real: bool = True) -> np.ndarray:
+        """Evaluate the field from colatitude Fourier coefficients ``C``."""
+        ntheta = self.grid.ntheta
+        nphi = self.grid.nphi
+        next_ = self.ntheta_ext
+
+        # H_m(theta_i) for the extended grid via inverse FFT over m'.
+        full = np.zeros(c.shape[:-1] + (next_,), dtype=np.complex128)
+        bins = self._fft_bins_for_orders(next_)
+        full[..., bins] = c
+        h_ext = np.fft.ifft(full, axis=-1) * next_
+        h = h_ext[..., :ntheta]  # (..., m, theta)
+        h = np.swapaxes(h, -1, -2)  # (..., theta, m)
+
+        # Z(theta_i, phi_j) = sum_m H_m(theta_i) exp(i m phi_j)
+        full_phi = np.zeros(h.shape[:-1] + (nphi,), dtype=np.complex128)
+        bins_phi = self._fft_bins_for_orders(nphi)
+        full_phi[..., bins_phi] = h
+        z = np.fft.ifft(full_phi, axis=-1) * nphi
+        return np.real(z) if real else z
+
+    def inverse(self, coeffs: np.ndarray, real: bool = True) -> np.ndarray:
+        """Full synthesis: spectral coefficients to grid field(s).
+
+        Parameters
+        ----------
+        coeffs:
+            Complex coefficients of shape ``(..., L**2)``.
+        real:
+            Return only the real part (appropriate for real fields whose
+            coefficients satisfy the conjugate symmetry).
+
+        Returns
+        -------
+        numpy.ndarray
+            Field(s) of shape ``(..., ntheta, nphi)``.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.complex128)
+        if coeffs.shape[-1] != self.n_coeffs:
+            raise ValueError(
+                f"expected {self.n_coeffs} coefficients, got {coeffs.shape[-1]}"
+            )
+        c = self.wigner_contraction_inverse(coeffs)
+        return self.synthesis_from_fourier(c, real=real)
+
+    # ------------------------------------------------------------------ #
+    # Utilities
+    # ------------------------------------------------------------------ #
+    def random_coefficients(
+        self,
+        rng: np.random.Generator,
+        power: np.ndarray | None = None,
+        real_field: bool = True,
+        shape: tuple[int, ...] = (),
+    ) -> np.ndarray:
+        """Draw random coefficients, optionally matching a power spectrum.
+
+        Parameters
+        ----------
+        rng:
+            NumPy random generator.
+        power:
+            Optional per-degree angular power spectrum ``C_l`` (length
+            ``L``); coefficients are scaled so that
+            ``E[|f_{l,m}|^2] = C_l``.
+        real_field:
+            Enforce the conjugate symmetry
+            ``f_{l,-m} = (-1)**m conj(f_{l,m})`` so the synthesised field is
+            real.
+        shape:
+            Extra leading batch shape.
+        """
+        n = self.n_coeffs
+        out = np.zeros(shape + (n,), dtype=np.complex128)
+        for ell in range(self.lmax):
+            scale = 1.0 if power is None else np.sqrt(max(power[ell], 0.0))
+            # m = 0: real
+            out[..., coeff_index(ell, 0)] = rng.standard_normal(shape) * scale
+            for m in range(1, ell + 1):
+                re = rng.standard_normal(shape)
+                im = rng.standard_normal(shape)
+                val = (re + 1j * im) / np.sqrt(2.0) * scale
+                out[..., coeff_index(ell, m)] = val
+                if real_field:
+                    out[..., coeff_index(ell, -m)] = ((-1) ** m) * np.conj(val)
+                else:
+                    re2 = rng.standard_normal(shape)
+                    im2 = rng.standard_normal(shape)
+                    out[..., coeff_index(ell, -m)] = (re2 + 1j * im2) / np.sqrt(2.0) * scale
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# Convenience wrappers
+# --------------------------------------------------------------------------- #
+def sht_forward(data: np.ndarray, lmax: int, grid: Grid | None = None) -> np.ndarray:
+    """One-shot forward transform (builds a throw-away plan)."""
+    data = np.asarray(data)
+    if grid is None:
+        grid = Grid(ntheta=data.shape[-2], nphi=data.shape[-1])
+    return SHTPlan(lmax=lmax, grid=grid).forward(data)
+
+
+def sht_inverse(coeffs: np.ndarray, grid: Grid, real: bool = True) -> np.ndarray:
+    """One-shot inverse transform (builds a throw-away plan)."""
+    coeffs = np.asarray(coeffs)
+    lmax = int(round(np.sqrt(coeffs.shape[-1])))
+    return SHTPlan(lmax=lmax, grid=grid).inverse(coeffs, real=real)

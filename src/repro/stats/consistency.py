@@ -1,0 +1,103 @@
+"""Simulation-versus-emulation consistency reports (paper Figs. 2 and 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.ensemble import ClimateEnsemble
+from repro.sht.spectrum import spectral_distance, spectrum_from_grid
+from repro.stats.distributions import ks_distance
+from repro.stats.moments import (
+    field_moments,
+    pointwise_moment_fields,
+    temporal_autocorrelation,
+)
+
+__all__ = ["ConsistencyReport", "consistency_report"]
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Summary of how closely an emulation matches its training simulation.
+
+    All difference metrics are scalar and "smaller is better"; the report is
+    the quantitative counterpart of the paper's visual Fig. 2 / Fig. 4
+    comparison.
+    """
+
+    global_mean_diff_k: float
+    global_std_ratio: float
+    pointwise_mean_rmse_k: float
+    pointwise_std_rmse_k: float
+    ks_distance: float
+    autocorrelation_diff: float
+    spectral_distance: float
+
+    def is_consistent(
+        self,
+        mean_tol_k: float = 1.0,
+        std_ratio_tol: float = 0.2,
+        ks_tol: float = 0.15,
+    ) -> bool:
+        """Loose pass/fail check used by tests and benchmark summaries."""
+        return (
+            abs(self.global_mean_diff_k) < mean_tol_k
+            and abs(self.global_std_ratio - 1.0) < std_ratio_tol
+            and self.ks_distance < ks_tol
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for printing in the benchmark harness)."""
+        return {
+            "global_mean_diff_k": self.global_mean_diff_k,
+            "global_std_ratio": self.global_std_ratio,
+            "pointwise_mean_rmse_k": self.pointwise_mean_rmse_k,
+            "pointwise_std_rmse_k": self.pointwise_std_rmse_k,
+            "ks_distance": self.ks_distance,
+            "autocorrelation_diff": self.autocorrelation_diff,
+            "spectral_distance": self.spectral_distance,
+        }
+
+
+def consistency_report(
+    simulations: ClimateEnsemble,
+    emulations: ClimateEnsemble,
+    lmax: int | None = None,
+    max_lag: int = 3,
+) -> ConsistencyReport:
+    """Compare an emulated ensemble against the training simulations."""
+    if simulations.grid.shape != emulations.grid.shape:
+        raise ValueError("simulations and emulations must share a grid")
+    grid = simulations.grid
+
+    sim_stats = field_moments(simulations.data, grid)
+    emu_stats = field_moments(emulations.data, grid)
+
+    sim_fields = pointwise_moment_fields(simulations.data)
+    emu_fields = pointwise_moment_fields(emulations.data)
+    mean_rmse = float(np.sqrt(np.mean((sim_fields["mean"] - emu_fields["mean"]) ** 2)))
+    std_rmse = float(np.sqrt(np.mean((sim_fields["std"] - emu_fields["std"]) ** 2)))
+
+    ks = ks_distance(simulations.data, emulations.data)
+
+    sim_acf = temporal_autocorrelation(simulations.data, max_lag=max_lag, grid=grid)
+    emu_acf = temporal_autocorrelation(emulations.data, max_lag=max_lag, grid=grid)
+    acf_diff = float(np.mean(np.abs(sim_acf - emu_acf)))
+
+    if lmax is None:
+        lmax = min(8, grid.max_bandlimit())
+    sim_spec = spectrum_from_grid(simulations.data[0, -1] - sim_fields["mean"], lmax, grid)
+    emu_spec = spectrum_from_grid(emulations.data[0, -1] - emu_fields["mean"], lmax, grid)
+    spec_dist = spectral_distance(sim_spec[1:], emu_spec[1:])
+
+    return ConsistencyReport(
+        global_mean_diff_k=emu_stats["mean"] - sim_stats["mean"],
+        global_std_ratio=emu_stats["std"] / sim_stats["std"] if sim_stats["std"] else 0.0,
+        pointwise_mean_rmse_k=mean_rmse,
+        pointwise_std_rmse_k=std_rmse,
+        ks_distance=ks,
+        autocorrelation_diff=acf_diff,
+        spectral_distance=spec_dist,
+    )

@@ -1,0 +1,37 @@
+"""Distributional diagnostics (quantiles and KS distances)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quantile_table", "ks_distance"]
+
+DEFAULT_QUANTILES = (0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
+
+
+def quantile_table(
+    data: np.ndarray, quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+) -> dict[float, float]:
+    """Selected quantiles of a flattened sample."""
+    flat = np.asarray(data, dtype=np.float64).ravel()
+    values = np.quantile(flat, quantiles)
+    return {float(q): float(v) for q, v in zip(quantiles, values)}
+
+
+def ks_distance(sample_a: np.ndarray, sample_b: np.ndarray, n_points: int = 512) -> float:
+    """Two-sample Kolmogorov-Smirnov distance on an evaluation grid.
+
+    Computed on a common grid of ``n_points`` evaluation points spanning the
+    pooled range, which keeps the cost independent of the (potentially very
+    large) sample sizes of gridded climate fields.
+    """
+    a = np.sort(np.asarray(sample_a, dtype=np.float64).ravel())
+    b = np.sort(np.asarray(sample_b, dtype=np.float64).ravel())
+    if a.size == 0 or b.size == 0:
+        raise ValueError("samples must be non-empty")
+    lo = min(a[0], b[0])
+    hi = max(a[-1], b[-1])
+    grid = np.linspace(lo, hi, n_points)
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))

@@ -1,0 +1,99 @@
+"""Moment-based diagnostics of gridded ensembles."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sht.grid import Grid
+
+__all__ = [
+    "field_moments",
+    "pointwise_moment_fields",
+    "global_mean_series",
+    "temporal_autocorrelation",
+]
+
+
+def field_moments(data: np.ndarray, grid: Grid | None = None) -> dict:
+    """Area-weighted mean / std / min / max over all members and times.
+
+    Parameters
+    ----------
+    data:
+        Array of shape ``(R, T, ntheta, nphi)`` (or any leading shape ending
+        in the grid axes).
+    grid:
+        Grid used for area weighting; plain unweighted statistics when
+        omitted.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if grid is not None:
+        w = grid.area_weights()
+        mean = float(np.tensordot(data, w, axes=([-2, -1], [0, 1])).mean())
+        centred = data - mean
+        var = float(
+            np.tensordot(centred ** 2, w, axes=([-2, -1], [0, 1])).mean()
+        )
+        std = float(np.sqrt(var))
+    else:
+        mean = float(data.mean())
+        std = float(data.std())
+    return {
+        "mean": mean,
+        "std": std,
+        "min": float(data.min()),
+        "max": float(data.max()),
+    }
+
+
+def pointwise_moment_fields(data: np.ndarray) -> dict[str, np.ndarray]:
+    """Per-location mean and standard deviation fields.
+
+    ``data`` has shape ``(R, T, ntheta, nphi)``; the statistics pool members
+    and time steps.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim == 3:
+        data = data[None, ...]
+    return {
+        "mean": data.mean(axis=(0, 1)),
+        "std": data.std(axis=(0, 1), ddof=1),
+    }
+
+
+def global_mean_series(data: np.ndarray, grid: Grid) -> np.ndarray:
+    """Area-weighted global-mean time series, shape ``(R, T)``."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim == 3:
+        data = data[None, ...]
+    w = grid.area_weights()
+    return np.tensordot(data, w, axes=([2, 3], [0, 1]))
+
+
+def temporal_autocorrelation(data: np.ndarray, max_lag: int = 5, grid: Grid | None = None) -> np.ndarray:
+    """Lagged autocorrelation of the (global-mean, detrended) series.
+
+    Returns the autocorrelation at lags ``1 .. max_lag`` averaged over
+    ensemble members.  The linear trend and mean are removed first so the
+    statistic reflects internal variability rather than the forced signal.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim == 4:
+        if grid is None:
+            grid = Grid(ntheta=data.shape[-2], nphi=data.shape[-1])
+        series = global_mean_series(data, grid)
+    elif data.ndim == 2:
+        series = data
+    else:
+        series = data[None, :]
+    n_ens, n_times = series.shape
+    out = np.zeros(max_lag)
+    t = np.arange(n_times)
+    for r in range(n_ens):
+        y = series[r]
+        coeffs = np.polyfit(t, y, 1)
+        resid = y - np.polyval(coeffs, t)
+        denom = float(np.sum(resid ** 2)) or 1.0
+        for lag in range(1, max_lag + 1):
+            out[lag - 1] += float(np.sum(resid[lag:] * resid[:-lag]) / denom)
+    return out / n_ens

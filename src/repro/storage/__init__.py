@@ -1,0 +1,29 @@
+"""Storage accounting: the "saving petabytes" analysis.
+
+The paper motivates the emulator by the storage cost of CMIP-class archives
+(CMIP6: ~28 PB across centres; NCAR's contribution alone: 2 PB at ~$45 per
+TB per year) and of kilometre-scale runs (SCREAM: ~4.5 TB per simulated
+day).  :mod:`repro.storage.accounting` reproduces that arithmetic: the raw
+size of a simulation archive at a given resolution/length/ensemble size,
+the footprint of the fitted emulator parameters that can regenerate
+statistically consistent members, and the resulting savings in bytes and
+dollars.
+"""
+
+from repro.storage.accounting import (
+    CMIP6_ARCHIVE,
+    StorageScenario,
+    archive_bytes,
+    emulator_parameter_bytes,
+    format_bytes,
+    savings_report,
+)
+
+__all__ = [
+    "CMIP6_ARCHIVE",
+    "StorageScenario",
+    "archive_bytes",
+    "emulator_parameter_bytes",
+    "format_bytes",
+    "savings_report",
+]

@@ -1,0 +1,138 @@
+"""Tests of the mean-trend model and the scale field."""
+
+import numpy as np
+import pytest
+
+from repro.core.scale import ScaleField
+from repro.core.trend import MeanTrendModel, distributed_lag_series
+from repro.data.forcing import historical_forcing
+
+
+class TestDistributedLag:
+    def test_recursion_matches_direct_sum(self):
+        x = historical_forcing(20)
+        rho = 0.6
+        d = distributed_lag_series(x, rho)
+        # Direct evaluation of (1-rho) sum_{s>=1} rho^{s-1} x_{y-s} with the
+        # pre-record history pinned at x[0].
+        for y in range(20):
+            total = 0.0
+            for s in range(1, 200):
+                xs = x[y - s] if y - s >= 0 else x[0]
+                total += (1 - rho) * rho ** (s - 1) * xs
+            assert d[y] == pytest.approx(total, rel=1e-10)
+
+    def test_rho_zero_is_previous_year(self):
+        x = np.array([1.0, 5.0, 2.0, 7.0])
+        d = distributed_lag_series(x, 0.0)
+        assert np.allclose(d[1:], x[:-1])
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            distributed_lag_series(np.ones(3), 1.0)
+
+
+class TestMeanTrendModel:
+    def _synthetic(self, rng, n_space=30, n_years=6, steps=12):
+        """Per-location synthetic data with known coefficients."""
+        forcing = historical_forcing(n_years)
+        model = MeanTrendModel(steps_per_year=steps, n_harmonics=1,
+                               rho_grid=(0.5,), use_distributed_lag=False)
+        design = model.design_matrix(n_years * steps, forcing, 0.5)
+        true_coeffs = rng.standard_normal((design.shape[1], n_space)) * np.array(
+            [[10.0], [0.5], [3.0], [3.0]]
+        )
+        clean = design @ true_coeffs
+        data = clean + 0.01 * rng.standard_normal(clean.shape)
+        return data.reshape(1, n_years * steps, 5, 6), forcing, true_coeffs, model
+
+    def test_recovers_known_coefficients(self, rng):
+        data, forcing, true_coeffs, model = self._synthetic(rng)
+        fit = model.fit(data, forcing)
+        recovered = fit.coefficients.reshape(-1, true_coeffs.shape[0]).T
+        assert np.max(np.abs(recovered - true_coeffs)) < 0.05
+
+    def test_predict_reproduces_fitted_mean(self, rng):
+        data, forcing, _, model = self._synthetic(rng)
+        fit = model.fit(data, forcing)
+        mean = model.predict(data.shape[1], forcing, fit)
+        resid = data[0] - mean
+        assert np.sqrt(np.mean(resid ** 2)) < 0.05
+
+    def test_residuals_shape(self, small_ensemble):
+        model = MeanTrendModel(steps_per_year=small_ensemble.steps_per_year, n_harmonics=2)
+        model.fit(small_ensemble.data, small_ensemble.forcing_annual)
+        resid = model.residuals(small_ensemble.data, small_ensemble.forcing_annual)
+        assert resid.shape == small_ensemble.data.shape
+        # Removing the trend must reduce variance substantially (the seasonal
+        # cycle dominates raw variance).
+        assert resid.std() < 0.6 * small_ensemble.data.std()
+
+    def test_rho_profile_selects_per_location_values(self, small_ensemble):
+        model = MeanTrendModel(
+            steps_per_year=small_ensemble.steps_per_year,
+            n_harmonics=1,
+            rho_grid=(0.2, 0.8),
+        )
+        fit = model.fit(small_ensemble.data, small_ensemble.forcing_annual)
+        assert set(np.unique(fit.rho)).issubset({0.2, 0.8})
+
+    def test_harmonic_amplitude_accessor(self, small_ensemble):
+        model = MeanTrendModel(steps_per_year=24, n_harmonics=2)
+        fit = model.fit(small_ensemble.data, small_ensemble.forcing_annual)
+        amp = fit.harmonic_amplitude(1)
+        assert amp.shape == small_ensemble.grid.shape
+        assert np.all(amp >= 0)
+        with pytest.raises(ValueError):
+            fit.harmonic_amplitude(9)
+
+    def test_forcing_too_short_raises(self, small_ensemble):
+        model = MeanTrendModel(steps_per_year=24)
+        with pytest.raises(ValueError):
+            model.fit(small_ensemble.data, small_ensemble.forcing_annual[:1])
+
+    def test_predict_before_fit_raises(self):
+        model = MeanTrendModel(steps_per_year=12)
+        with pytest.raises(RuntimeError):
+            model.predict(10, np.ones(2))
+
+    def test_seasonal_amplitude_recovery_against_generator(self, small_ensemble):
+        """The fitted annual-harmonic amplitude tracks the generator's field."""
+        from repro.data import Era5LikeConfig, Era5LikeGenerator
+
+        gen = Era5LikeGenerator(Era5LikeConfig(lmax=8, n_years=3, steps_per_year=24, n_ensemble=2), seed=42)
+        model = MeanTrendModel(steps_per_year=24, n_harmonics=2, rho_grid=(0.5,))
+        fit = model.fit(small_ensemble.data, small_ensemble.forcing_annual)
+        truth = np.abs(gen.seasonal_amplitude())
+        fitted = fit.harmonic_amplitude(1)
+        mask = truth > 2.0
+        rel_err = np.abs(fitted[mask] - truth[mask]) / truth[mask]
+        assert np.median(rel_err) < 0.35
+
+
+class TestScaleField:
+    def test_from_residuals_matches_numpy(self, rng):
+        resid = rng.standard_normal((2, 50, 4, 5)) * 3.0
+        scale = ScaleField.from_residuals(resid)
+        assert scale.shape == (4, 5)
+        assert np.allclose(scale.sigma, resid.std(axis=(0, 1), ddof=1))
+
+    def test_standardize_roundtrip(self, rng):
+        resid = rng.standard_normal((1, 30, 3, 4)) * 2.0
+        scale = ScaleField.from_residuals(resid)
+        z = scale.standardize(resid)
+        assert np.allclose(scale.unstandardize(z), resid)
+        assert abs(z.std() - 1.0) < 0.1
+
+    def test_floor_prevents_division_blowup(self):
+        scale = ScaleField(sigma=np.zeros((2, 2)), floor=1e-6)
+        assert np.all(scale.sigma == 1e-6)
+
+    def test_summary(self, rng):
+        scale = ScaleField.from_residuals(rng.standard_normal((1, 40, 3, 3)))
+        summary = scale.summary()
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ScaleField.from_residuals(np.zeros((3, 4)))

@@ -1,0 +1,131 @@
+"""Tests of the tile-based mixed-precision Cholesky factorisation."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    MixedPrecisionCholesky,
+    TiledSymmetricMatrix,
+    VARIANTS,
+    dense_cholesky,
+    generate_cholesky_tasks,
+)
+from repro.linalg.flops import cholesky_flops, cholesky_tile_counts
+from repro.runtime import build_task_graph
+
+
+class TestDenseReference:
+    def test_matches_numpy(self, spd_matrix):
+        ours = dense_cholesky(spd_matrix)
+        ref = np.linalg.cholesky(spd_matrix)
+        assert np.allclose(ours, ref)
+
+    def test_jitter_recovers_rank_deficient(self):
+        a = np.ones((5, 5))  # rank one, singular
+        with pytest.raises(np.linalg.LinAlgError):
+            dense_cholesky(a)
+        l = dense_cholesky(a, jitter=1e-6)
+        assert np.all(np.isfinite(l))
+
+
+class TestTaskGeneration:
+    def test_task_counts_match_formula(self, spd_matrix):
+        tiled = TiledSymmetricMatrix.from_dense(spd_matrix, 16, "DP")
+        tasks = generate_cholesky_tasks(tiled)
+        counts = cholesky_tile_counts(tiled.n_tiles)
+        by_kind = {}
+        for t in tasks:
+            by_kind[t.kind] = by_kind.get(t.kind, 0) + 1
+        assert by_kind == counts
+
+    def test_flops_sum_close_to_dense_count(self, spd_matrix):
+        tiled = TiledSymmetricMatrix.from_dense(spd_matrix, 8, "DP")
+        tasks = generate_cholesky_tasks(tiled)
+        total = sum(t.flops for t in tasks)
+        assert total == pytest.approx(cholesky_flops(64), rel=0.1)
+
+    def test_dag_is_acyclic_with_expected_dependencies(self, spd_matrix):
+        tiled = TiledSymmetricMatrix.from_dense(spd_matrix, 16, "DP")
+        graph = build_task_graph(generate_cholesky_tasks(tiled))
+        # First POTRF has no predecessors; last POTRF depends on earlier work.
+        assert not graph.predecessors(graph.tasks[0])
+        last_potrf = [t for t in graph.tasks if t.name == f"POTRF({tiled.n_tiles - 1})"][0]
+        assert graph.predecessors(last_potrf)
+
+    def test_precision_assignment_follows_policy(self, spd_matrix):
+        tiled = TiledSymmetricMatrix.from_dense(spd_matrix, 8, "DP/HP")
+        tasks = generate_cholesky_tasks(tiled)
+        potrf = [t for t in tasks if t.kind == "POTRF"]
+        gemm_far = [t for t in tasks if t.kind == "GEMM" and t.name == "GEMM(7,1,0)"]
+        assert all(t.precision == "fp64" for t in potrf)
+        assert gemm_far and gemm_far[0].precision == "fp16"
+
+    def test_sender_conversion_counts_fewer_than_receiver(self, spd_matrix):
+        tiled = TiledSymmetricMatrix.from_dense(spd_matrix, 8, "DP/HP")
+        sender = sum(
+            t.metadata.get("conversions", 0)
+            for t in generate_cholesky_tasks(tiled, conversion="sender")
+        )
+        receiver = sum(
+            t.metadata.get("conversions", 0)
+            for t in generate_cholesky_tasks(tiled, conversion="receiver")
+        )
+        assert sender < receiver
+
+
+class TestFactorizationAccuracy:
+    def test_dp_matches_dense_reference(self, spd_matrix):
+        result = MixedPrecisionCholesky(tile_size=16, variant="DP").factorize(spd_matrix)
+        assert result.factor_error(dense_cholesky(spd_matrix)) < 1e-13
+        assert result.relative_error(spd_matrix) < 1e-14
+
+    @pytest.mark.parametrize("variant,tol", [("DP/SP", 1e-5), ("DP/SP/HP", 5e-2), ("DP/HP", 5e-2)])
+    def test_reduced_precision_error_bounded(self, spd_matrix, variant, tol):
+        result = MixedPrecisionCholesky(tile_size=16, variant=variant).factorize(spd_matrix)
+        assert 0 < result.relative_error(spd_matrix) < tol
+
+    def test_error_ordering_across_variants(self, spd_matrix):
+        errors = {}
+        for variant in VARIANTS:
+            result = MixedPrecisionCholesky(tile_size=16, variant=variant).factorize(spd_matrix)
+            errors[variant] = result.relative_error(spd_matrix)
+        assert errors["DP"] < errors["DP/SP"] < errors["DP/HP"]
+
+    def test_uneven_tile_sizes(self, spd_matrix):
+        result = MixedPrecisionCholesky(tile_size=24, variant="DP").factorize(spd_matrix)
+        assert result.relative_error(spd_matrix) < 1e-13
+
+    def test_single_tile_matrix(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((8, 16))
+        spd = a @ a.T + 8 * np.eye(8)
+        result = MixedPrecisionCholesky(tile_size=8, variant="DP").factorize(spd)
+        assert result.relative_error(spd) < 1e-13
+        assert result.n_tasks == 1
+
+    def test_result_accounting(self, spd_matrix):
+        result = MixedPrecisionCholesky(tile_size=16, variant="DP/HP").factorize(spd_matrix)
+        assert result.total_flops == pytest.approx(sum(result.flops_by_precision.values()))
+        assert result.storage_bytes < result.dense_bytes
+        assert "fp16" in result.flops_by_precision
+        assert result.variant == "DP/HP"
+
+    def test_sampling_covariance(self, spd_matrix):
+        result = MixedPrecisionCholesky(tile_size=16, variant="DP").factorize(spd_matrix)
+        rng = np.random.default_rng(3)
+        samples = result.sample(rng, size=4000)
+        empirical = samples.T @ samples / samples.shape[0]
+        rel = np.linalg.norm(empirical - spd_matrix) / np.linalg.norm(spd_matrix)
+        assert rel < 0.15
+
+    def test_jitter_handles_near_singular(self):
+        n = 32
+        u = np.ones((n, 1))
+        nearly_singular = u @ u.T + 1e-10 * np.eye(n)
+        solver = MixedPrecisionCholesky(tile_size=8, variant="DP", jitter=1e-6)
+        result = solver.factorize(nearly_singular)
+        assert np.all(np.isfinite(result.lower()))
+
+    def test_invalid_tile_size(self):
+        with pytest.raises(ValueError):
+            MixedPrecisionCholesky(tile_size=0)

@@ -1,0 +1,116 @@
+"""Tests of machine models, the communication model and memory tracking."""
+
+import pytest
+
+from repro.runtime import CollectivePriority, CommunicationModel, GPUSpec, MachineSpec, MemoryTracker, NodeSpec
+from repro.runtime.communication import ConversionSide
+from repro.runtime.memory import OutOfMemoryError
+from repro.systems import SUMMIT
+
+
+class TestGPUAndNode:
+    def test_rates(self):
+        gpu = GPUSpec("test", fp64_gflops=10.0, fp32_gflops=20.0, fp16_gflops=160.0, memory_gb=16)
+        assert gpu.rate("fp64") == 10.0
+        assert gpu.effective_rate("fp16") == pytest.approx(160.0 * 0.85)
+        with pytest.raises(ValueError):
+            gpu.rate("fp128")
+
+    def test_node_aggregates(self):
+        node = SUMMIT.node
+        assert node.fp64_gflops == pytest.approx(6 * 7800.0)
+        assert node.gpu_memory_gb == pytest.approx(96.0)
+
+
+class TestMachine:
+    def test_subset(self):
+        sub = SUMMIT.subset(128)
+        assert sub.total_nodes == 128
+        assert sub.total_gpus == 768
+        with pytest.raises(ValueError):
+            SUMMIT.subset(100_000)
+
+    def test_peaks(self):
+        peak = SUMMIT.theoretical_peak_pflops("fp64")
+        assert peak == pytest.approx(4608 * 6 * 7.8 / 1000.0, rel=1e-6)
+
+    def test_max_matrix_size_scales_with_memory(self):
+        small = SUMMIT.subset(64).max_matrix_size()
+        big = SUMMIT.subset(256).max_matrix_size()
+        assert big == pytest.approx(2 * small, rel=0.01)
+
+
+class TestCommunicationModel:
+    def test_point_to_point_costs(self):
+        comm = CommunicationModel(SUMMIT)
+        assert comm.point_to_point(0.0) == 0.0
+        small = comm.point_to_point(1.0e3)
+        large = comm.point_to_point(1.0e9)
+        assert small < large
+        assert small >= comm.latency_s
+
+    def test_intra_node_faster_than_network(self):
+        comm = CommunicationModel(SUMMIT)
+        nbytes = 64e6
+        assert comm.intra_node(nbytes) < comm.point_to_point(nbytes)
+
+    def test_broadcast_scales_logarithmically(self):
+        comm = CommunicationModel(SUMMIT)
+        t2 = comm.broadcast(1e6, 2)
+        t16 = comm.broadcast(1e6, 16)
+        assert t16 == pytest.approx(4 * t2)
+        assert comm.broadcast(1e6, 1) == 0.0
+
+    def test_latency_priority_beats_bandwidth_priority_per_collective(self):
+        latency = CommunicationModel(SUMMIT, CollectivePriority.LATENCY)
+        bandwidth = CommunicationModel(SUMMIT, CollectivePriority.BANDWIDTH, concurrent_collectives=16)
+        assert latency.broadcast(1e4, 64) < bandwidth.broadcast(1e4, 64)
+
+    def test_reduce_matches_broadcast_shape(self):
+        comm = CommunicationModel(SUMMIT)
+        assert comm.reduce(1e6, 8) == comm.broadcast(1e6, 8)
+
+    def test_sender_side_conversion_cheaper_and_fewer_conversions(self):
+        comm = CommunicationModel(SUMMIT)
+        dp_bytes, hp_bytes, consumers = 8.0e6, 2.0e6, 7
+        t_send, c_send = comm.converted_transfer(dp_bytes, hp_bytes, consumers, ConversionSide.SENDER)
+        t_recv, c_recv = comm.converted_transfer(dp_bytes, hp_bytes, consumers, ConversionSide.RECEIVER)
+        assert t_send < t_recv
+        assert c_send == 1
+        assert c_recv == consumers
+
+    def test_converted_transfer_no_consumers(self):
+        comm = CommunicationModel(SUMMIT)
+        assert comm.converted_transfer(8e6, 2e6, 0) == (0.0, 0)
+
+
+class TestMemoryTracker:
+    def test_high_water_tracking(self):
+        mem = MemoryTracker()
+        mem.allocate("a", 100.0)
+        mem.allocate("b", 50.0)
+        mem.free("a")
+        assert mem.live_bytes == 50.0
+        assert mem.high_water_bytes == 150.0
+
+    def test_reallocation_replaces(self):
+        mem = MemoryTracker()
+        mem.allocate("a", 100.0)
+        mem.allocate("a", 25.0)  # precision conversion shrinks the tile
+        assert mem.live_bytes == 25.0
+
+    def test_capacity_enforcement(self):
+        mem = MemoryTracker(capacity_bytes=100.0)
+        mem.allocate("a", 80.0)
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate("b", 40.0)
+        mem.allocate("c", 40.0, strict=False)
+        assert mem.failed_allocations == 2
+        assert mem.utilisation() > 1.0
+
+    def test_reset(self):
+        mem = MemoryTracker()
+        mem.allocate("a", 10.0)
+        mem.reset()
+        assert mem.live_bytes == 0.0 and mem.high_water_bytes == 0.0
+        assert mem.utilisation() == 0.0

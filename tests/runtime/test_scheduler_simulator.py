@@ -1,0 +1,106 @@
+"""Tests of the list schedulers and the discrete-event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import MixedPrecisionCholesky, TiledSymmetricMatrix, generate_cholesky_tasks
+from repro.runtime import DistributedSimulator, ListScheduler, SchedulePolicy, Task
+from repro.runtime.scheduler import block_cyclic_owner
+from repro.systems import SUMMIT
+
+
+def _dummy_task(name, writes, reads=()):
+    return Task(name=name, kind="X", reads=tuple(reads), writes=tuple(writes), flops=1e9)
+
+
+class TestScheduler:
+    def test_owner_policy_uses_block_cyclic(self):
+        owner = block_cyclic_owner(2, 2)
+        sched = ListScheduler(policy=SchedulePolicy.OWNER, owner_of=owner)
+        t = _dummy_task("t", writes=[("A", 3, 1)])
+        assert sched.select_worker(t, [0.0] * 4) == owner(("A", 3, 1))
+
+    def test_earliest_policy_balances(self):
+        sched = ListScheduler(policy=SchedulePolicy.EARLIEST)
+        t = _dummy_task("t", writes=[("A", 0, 0)])
+        assert sched.select_worker(t, [5.0, 1.0, 3.0]) == 1
+
+    def test_locality_policy_prefers_input_owner(self):
+        owner = block_cyclic_owner(2, 1)
+        sched = ListScheduler(policy=SchedulePolicy.LOCALITY, owner_of=owner,
+                              tile_bytes=lambda ref: 100.0 if ref[1] == 1 else 1.0)
+        t = _dummy_task("t", writes=[("A", 0, 0)], reads=[("A", 1, 0)])
+        assert sched.select_worker(t, [0.0, 0.0]) == owner(("A", 1, 0))
+
+    def test_priority_ordering(self):
+        high = Task(name="h", kind="X", reads=(), writes=(), flops=1.0, priority=10)
+        low = Task(name="l", kind="X", reads=(), writes=(), flops=1.0, priority=1)
+        assert ListScheduler.order_ready([low, high])[0] is high
+
+    def test_no_workers_rejected(self):
+        sched = ListScheduler()
+        with pytest.raises(ValueError):
+            sched.select_worker(_dummy_task("t", writes=[("A", 0, 0)]), [])
+
+
+class TestDistributedSimulator:
+    def _cholesky_graph(self, spd_matrix, variant="DP"):
+        tiled = TiledSymmetricMatrix.from_dense(spd_matrix, 8, variant)
+        tasks = generate_cholesky_tasks(tiled)
+        return tasks, tiled.tile_bytes_map()
+
+    def test_report_basics(self, spd_matrix):
+        tasks, tile_bytes = self._cholesky_graph(spd_matrix)
+        sim = DistributedSimulator(SUMMIT.subset(1), workers=4)
+        report = sim.run(tasks, tile_bytes)
+        assert report.makespan_s > 0
+        assert report.n_tasks == len(tasks)
+        assert report.achieved_gflops > 0
+        assert len(report.worker_busy_s) == 4
+        assert 0 < report.average_utilisation <= 1.0
+        assert report.memory_high_water_bytes
+
+    def test_more_workers_never_slower(self, spd_matrix):
+        tasks, tile_bytes = self._cholesky_graph(spd_matrix)
+        t1 = DistributedSimulator(SUMMIT.subset(1), workers=1).run(tasks, tile_bytes)
+        t8 = DistributedSimulator(SUMMIT.subset(2), workers=8).run(tasks, tile_bytes)
+        assert t8.makespan_s <= t1.makespan_s * 1.001
+
+    def test_lower_precision_variant_is_faster(self, spd_matrix):
+        dp_tasks, bytes_dp = self._cholesky_graph(spd_matrix, "DP")
+        hp_tasks, bytes_hp = self._cholesky_graph(spd_matrix, "DP/HP")
+        sim = DistributedSimulator(SUMMIT.subset(1), workers=2, task_overhead_us=0.0)
+        t_dp = sim.run(dp_tasks, bytes_dp)
+        t_hp = sim.run(hp_tasks, bytes_hp)
+        assert t_hp.makespan_s < t_dp.makespan_s
+
+    def test_efficiency_vs_reference(self, spd_matrix):
+        tasks, tile_bytes = self._cholesky_graph(spd_matrix)
+        base = DistributedSimulator(SUMMIT.subset(1), workers=2).run(tasks, tile_bytes)
+        wide = DistributedSimulator(SUMMIT.subset(4), workers=24).run(tasks, tile_bytes)
+        eff = wide.efficiency_vs(base)
+        assert 0 < eff <= 1.5
+
+    def test_owner_scheduler_in_simulation(self, spd_matrix):
+        tasks, tile_bytes = self._cholesky_graph(spd_matrix)
+        owner = block_cyclic_owner(2, 2)
+        sched = ListScheduler(policy=SchedulePolicy.OWNER, owner_of=owner)
+        sim = DistributedSimulator(SUMMIT.subset(1), workers=4, scheduler=sched)
+        report = sim.run(tasks, tile_bytes)
+        assert report.comm_bytes > 0
+        assert report.makespan_s > 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            DistributedSimulator(SUMMIT.subset(1), workers=0)
+
+    def test_simulated_and_executed_flops_agree(self, spd_matrix):
+        """The simulator and the executor account the same total work."""
+        from repro.runtime import LocalExecutor, build_task_graph
+
+        tiled = TiledSymmetricMatrix.from_dense(spd_matrix, 8, "DP")
+        tasks = generate_cholesky_tasks(tiled)
+        graph = build_task_graph(tasks)
+        trace = LocalExecutor().run(graph, tiled.as_tile_store())
+        report = DistributedSimulator(SUMMIT.subset(1), workers=2).run(graph, tiled.tile_bytes_map())
+        assert trace.flops == pytest.approx(report.total_flops)

@@ -1,0 +1,162 @@
+"""Tests of the fast spherical harmonic transform (Eqs. 4-8)."""
+
+import numpy as np
+import pytest
+
+from repro.sht import (
+    Grid,
+    SHTPlan,
+    coeff_index,
+    coeff_lm,
+    direct_forward,
+    direct_inverse,
+    num_coeffs,
+    sht_forward,
+    sht_inverse,
+)
+from repro.sht.transform import degrees_and_orders
+
+
+class TestCoefficientIndexing:
+    def test_num_coeffs(self):
+        assert num_coeffs(1) == 1
+        assert num_coeffs(8) == 64
+        assert num_coeffs(720) == 518_400
+
+    def test_index_roundtrip(self):
+        for ell in range(6):
+            for m in range(-ell, ell + 1):
+                assert coeff_lm(coeff_index(ell, m)) == (ell, m)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            coeff_index(2, 3)
+
+    def test_degrees_and_orders(self):
+        ells, ms = degrees_and_orders(3)
+        assert len(ells) == 9
+        assert ells[0] == 0 and ms[0] == 0
+        assert ells[-1] == 2 and ms[-1] == 2
+
+
+class TestPlanValidation:
+    def test_rejects_too_small_grid(self):
+        with pytest.raises(ValueError):
+            SHTPlan(lmax=8, grid=Grid(ntheta=6, nphi=15))
+        with pytest.raises(ValueError):
+            SHTPlan(lmax=8, grid=Grid(ntheta=9, nphi=10))
+
+    def test_plan_sizes(self, small_plan, small_lmax):
+        assert small_plan.n_coeffs == small_lmax ** 2
+        assert small_plan.n_orders == 2 * small_lmax - 1
+        assert len(small_plan.wigner) == small_lmax
+
+    def test_shape_mismatch_raises(self, small_plan):
+        with pytest.raises(ValueError):
+            small_plan.forward(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            small_plan.inverse(np.zeros(5, dtype=complex))
+
+
+class TestRoundTrip:
+    def test_roundtrip_random_real_field(self, small_plan, rng):
+        coeffs = small_plan.random_coefficients(rng)
+        field = small_plan.inverse(coeffs)
+        recovered = small_plan.forward(field)
+        assert np.max(np.abs(recovered - coeffs)) < 1e-10
+
+    def test_roundtrip_batched(self, small_plan, rng):
+        coeffs = small_plan.random_coefficients(rng, shape=(3, 2))
+        fields = small_plan.inverse(coeffs)
+        assert fields.shape == (3, 2) + small_plan.grid.shape
+        recovered = small_plan.forward(fields)
+        assert np.max(np.abs(recovered - coeffs)) < 1e-10
+
+    def test_real_field_synthesis_is_real(self, small_plan, rng):
+        coeffs = small_plan.random_coefficients(rng, real_field=True)
+        field = small_plan.inverse(coeffs, real=False)
+        assert np.max(np.abs(field.imag)) < 1e-10
+
+    def test_oversampled_grid_roundtrip(self, rng):
+        lmax = 6
+        grid = Grid(ntheta=2 * lmax + 3, nphi=4 * lmax)
+        plan = SHTPlan(lmax=lmax, grid=grid)
+        coeffs = plan.random_coefficients(rng)
+        assert np.max(np.abs(plan.forward(plan.inverse(coeffs)) - coeffs)) < 1e-10
+
+
+class TestAgainstDirectTransform:
+    def test_inverse_matches_direct(self, small_plan, rng):
+        coeffs = small_plan.random_coefficients(rng)
+        fast = small_plan.inverse(coeffs)
+        direct = direct_inverse(coeffs, small_plan.grid)
+        assert np.max(np.abs(fast - direct)) < 1e-10
+
+    def test_forward_matches_lstsq(self, small_plan, rng):
+        coeffs = small_plan.random_coefficients(rng)
+        field = small_plan.inverse(coeffs)
+        direct = direct_forward(field, small_plan.lmax, small_plan.grid, method="lstsq")
+        assert np.max(np.abs(direct - coeffs)) < 1e-9
+
+    def test_forward_matches_quadrature_on_oversampled_grid(self, rng):
+        lmax = 6
+        grid = Grid(ntheta=2 * lmax + 2, nphi=2 * lmax)
+        plan = SHTPlan(lmax=lmax, grid=grid)
+        coeffs = plan.random_coefficients(rng)
+        field = plan.inverse(coeffs)
+        quad = direct_forward(field, lmax, grid, method="quadrature")
+        assert np.max(np.abs(quad - coeffs)) < 1e-10
+
+
+class TestAnalyticFields:
+    def test_constant_field_maps_to_monopole(self, small_plan):
+        field = np.full(small_plan.grid.shape, 3.0)
+        coeffs = small_plan.forward(field)
+        expected = 3.0 * np.sqrt(4.0 * np.pi)
+        assert coeffs[coeff_index(0, 0)] == pytest.approx(expected, abs=1e-10)
+        others = np.delete(coeffs, coeff_index(0, 0))
+        assert np.max(np.abs(others)) < 1e-10
+
+    def test_cos_theta_maps_to_l1_m0(self, small_plan):
+        theta, _ = small_plan.grid.mesh()
+        field = np.cos(theta)
+        coeffs = small_plan.forward(field)
+        # cos(theta) = sqrt(4 pi / 3) Y_{1,0}
+        assert coeffs[coeff_index(1, 0)] == pytest.approx(np.sqrt(4 * np.pi / 3), abs=1e-10)
+
+    def test_sectoral_harmonic(self, small_plan):
+        """A pure Y_{2,2} + conjugate field analyses to those coefficients."""
+        theta, phi = small_plan.grid.mesh()
+        amp = 0.7
+        y22 = (1.0 / 4.0) * np.sqrt(15.0 / (2 * np.pi)) * np.sin(theta) ** 2
+        field = amp * y22 * np.cos(2 * phi) * 2.0
+        coeffs = small_plan.forward(field)
+        assert coeffs[coeff_index(2, 2)] == pytest.approx(amp, abs=1e-9)
+        assert coeffs[coeff_index(2, -2)] == pytest.approx(amp, abs=1e-9)
+
+    def test_linearity(self, small_plan, rng):
+        f1 = small_plan.random_coefficients(rng)
+        f2 = small_plan.random_coefficients(rng)
+        a, b = 2.5, -1.25
+        combined = small_plan.inverse(a * f1 + b * f2)
+        separate = a * small_plan.inverse(f1) + b * small_plan.inverse(f2)
+        assert np.max(np.abs(combined - separate)) < 1e-10
+
+
+class TestConvenienceWrappers:
+    def test_one_shot_roundtrip(self, rng):
+        lmax = 5
+        grid = Grid.for_bandlimit(lmax)
+        plan = SHTPlan(lmax=lmax, grid=grid)
+        coeffs = plan.random_coefficients(rng)
+        field = sht_inverse(coeffs, grid)
+        recovered = sht_forward(field, lmax)
+        assert np.max(np.abs(recovered - coeffs)) < 1e-10
+
+    def test_random_coefficients_power(self, small_plan, rng):
+        power = np.linspace(1.0, 0.1, small_plan.lmax)
+        coeffs = small_plan.random_coefficients(rng, power=power, shape=(200,))
+        from repro.sht.spectrum import angular_power_spectrum
+
+        measured = angular_power_spectrum(coeffs).mean(axis=0)
+        assert np.allclose(measured[1:], power[1:], rtol=0.5)

@@ -1,0 +1,122 @@
+"""Tests of the statistical-consistency diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.data.ensemble import ClimateEnsemble
+from repro.sht.grid import Grid
+from repro.stats import (
+    consistency_report,
+    field_moments,
+    global_mean_series,
+    ks_distance,
+    pointwise_moment_fields,
+    quantile_table,
+    temporal_autocorrelation,
+)
+
+
+class TestMoments:
+    def test_field_moments_unweighted(self, rng):
+        data = rng.standard_normal((2, 10, 6, 8)) * 2.0 + 5.0
+        stats = field_moments(data)
+        assert stats["mean"] == pytest.approx(5.0, abs=0.2)
+        assert stats["std"] == pytest.approx(2.0, abs=0.2)
+        assert stats["min"] < stats["mean"] < stats["max"]
+
+    def test_field_moments_area_weighted_ignores_polar_rows(self):
+        grid = Grid(ntheta=19, nphi=36)
+        data = np.ones((1, 1) + grid.shape)
+        data[0, 0, 0, :] = 100.0  # the north-pole row has near-zero area
+        weighted = field_moments(data, grid)["mean"]
+        unweighted = field_moments(data)["mean"]
+        assert weighted < unweighted
+
+    def test_pointwise_fields(self, rng):
+        data = rng.standard_normal((3, 20, 4, 5))
+        fields = pointwise_moment_fields(data)
+        assert fields["mean"].shape == (4, 5)
+        assert np.all(fields["std"] > 0)
+
+    def test_global_mean_series_shape(self, small_ensemble):
+        series = global_mean_series(small_ensemble.data, small_ensemble.grid)
+        assert series.shape == (2, 72)
+
+    def test_autocorrelation_of_ar1_process(self, rng):
+        phi = 0.8
+        n = 2000
+        series = np.zeros(n)
+        for t in range(1, n):
+            series[t] = phi * series[t - 1] + rng.standard_normal()
+        acf = temporal_autocorrelation(series, max_lag=3)
+        assert acf[0] == pytest.approx(phi, abs=0.1)
+        assert acf[2] == pytest.approx(phi ** 3, abs=0.15)
+
+
+class TestDistributions:
+    def test_quantiles_of_uniform(self, rng):
+        sample = rng.uniform(size=200_000)
+        table = quantile_table(sample, quantiles=(0.25, 0.5, 0.75))
+        assert table[0.5] == pytest.approx(0.5, abs=0.01)
+        assert table[0.25] == pytest.approx(0.25, abs=0.01)
+
+    def test_ks_distance_identical_and_shifted(self, rng):
+        a = rng.standard_normal(50_000)
+        b = rng.standard_normal(50_000)
+        assert ks_distance(a, a) == pytest.approx(0.0, abs=1e-12)
+        assert ks_distance(a, b) < 0.02
+        assert ks_distance(a, b + 2.0) > 0.5
+
+    def test_ks_distance_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance(np.array([]), np.array([1.0]))
+
+
+class TestConsistencyReport:
+    def _ensemble_like(self, ensemble, data):
+        return ClimateEnsemble(
+            data=data,
+            grid=ensemble.grid,
+            forcing_annual=ensemble.forcing_annual,
+            steps_per_year=ensemble.steps_per_year,
+        )
+
+    def test_self_consistency(self, small_ensemble):
+        report = consistency_report(small_ensemble, small_ensemble, lmax=6)
+        assert report.global_mean_diff_k == pytest.approx(0.0)
+        assert report.global_std_ratio == pytest.approx(1.0)
+        assert report.ks_distance == pytest.approx(0.0, abs=1e-12)
+        assert report.is_consistent()
+
+    def test_detects_mean_shift(self, small_ensemble):
+        shifted = self._ensemble_like(small_ensemble, small_ensemble.data + 5.0)
+        report = consistency_report(small_ensemble, shifted, lmax=6)
+        assert report.global_mean_diff_k == pytest.approx(5.0, abs=0.01)
+        assert not report.is_consistent()
+
+    def test_detects_variance_inflation(self, small_ensemble):
+        mean = small_ensemble.data.mean()
+        inflated = self._ensemble_like(small_ensemble, mean + 2.0 * (small_ensemble.data - mean))
+        report = consistency_report(small_ensemble, inflated, lmax=6)
+        assert report.global_std_ratio == pytest.approx(2.0, abs=0.05)
+        assert not report.is_consistent()
+
+    def test_grid_mismatch_rejected(self, small_ensemble):
+        other_grid = Grid(ntheta=6, nphi=10)
+        other = ClimateEnsemble(
+            data=np.zeros((1, 12) + other_grid.shape),
+            grid=other_grid,
+            forcing_annual=np.zeros(1),
+            steps_per_year=12,
+        )
+        with pytest.raises(ValueError):
+            consistency_report(small_ensemble, other)
+
+    def test_as_dict_round_trip(self, small_ensemble):
+        report = consistency_report(small_ensemble, small_ensemble, lmax=6)
+        d = report.as_dict()
+        assert set(d) == {
+            "global_mean_diff_k", "global_std_ratio", "pointwise_mean_rmse_k",
+            "pointwise_std_rmse_k", "ks_distance", "autocorrelation_diff",
+            "spectral_distance",
+        }

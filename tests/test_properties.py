@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) of the core invariants.
+
+These cover the mathematical invariants that must hold for *any* input, not
+just the fixtures: SHT linearity and Parseval consistency, real-packing
+orthogonality, Cholesky correctness over random SPD matrices, precision
+policy totality, distributed-lag boundedness and storage monotonicity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.trend import distributed_lag_series
+from repro.linalg import MixedPrecisionCholesky, variant_policy
+from repro.linalg.precision import Precision
+from repro.runtime import build_task_graph
+from repro.runtime.task import Task
+from repro.sht import Grid, SHTPlan
+from repro.sht.quadrature import exponential_sine_integral
+from repro.sht.realform import complex_from_real, real_from_complex
+from repro.sht.spectrum import angular_power_spectrum
+from repro.storage import StorageScenario, archive_bytes
+from repro.systems.perf_model import band_flop_fraction
+
+_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_PLAN = SHTPlan(lmax=6, grid=Grid.for_bandlimit(6))
+
+
+@st.composite
+def real_coefficients(draw):
+    values = draw(
+        hnp.arrays(
+            np.float64,
+            (36,),
+            elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+        )
+    )
+    return values
+
+
+class TestSHTProperties:
+    @_SETTINGS
+    @given(real_coefficients(), real_coefficients(), st.floats(-5, 5), st.floats(-5, 5))
+    def test_transform_linearity(self, a, b, alpha, beta):
+        ca, cb = complex_from_real(a), complex_from_real(b)
+        lhs = _PLAN.inverse(alpha * ca + beta * cb)
+        rhs = alpha * _PLAN.inverse(ca) + beta * _PLAN.inverse(cb)
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+    @_SETTINGS
+    @given(real_coefficients())
+    def test_roundtrip_identity(self, packed):
+        coeffs = complex_from_real(packed)
+        recovered = _PLAN.forward(_PLAN.inverse(coeffs))
+        assert np.allclose(recovered, coeffs, atol=1e-8)
+
+    @_SETTINGS
+    @given(real_coefficients())
+    def test_real_packing_is_isometric(self, packed):
+        coeffs = complex_from_real(packed)
+        assert np.isclose(np.linalg.norm(packed), np.linalg.norm(coeffs))
+        assert np.allclose(real_from_complex(coeffs), packed, atol=1e-12)
+
+    @_SETTINGS
+    @given(real_coefficients())
+    def test_power_spectrum_nonnegative_and_scales(self, packed):
+        coeffs = complex_from_real(packed)
+        spec = angular_power_spectrum(coeffs)
+        assert np.all(spec >= 0)
+        assert np.allclose(angular_power_spectrum(2.0 * coeffs), 4.0 * spec, rtol=1e-10)
+
+    @_SETTINGS
+    @given(st.integers(min_value=-200, max_value=200))
+    def test_exponential_sine_integral_conjugate_symmetry(self, q):
+        assert np.isclose(
+            complex(exponential_sine_integral(-q)),
+            np.conj(complex(exponential_sine_integral(q))),
+        )
+
+
+class TestLinalgProperties:
+    @_SETTINGS
+    @given(
+        st.integers(min_value=6, max_value=28),
+        st.integers(min_value=2, max_value=9),
+        st.sampled_from(["DP", "DP/SP", "DP/HP"]),
+    )
+    def test_cholesky_reconstruction_over_random_spd(self, n, tile, variant):
+        rng = np.random.default_rng(n * 131 + tile)
+        x = rng.standard_normal((n, n + 4))
+        spd = x @ x.T / (n + 4) + np.eye(n)
+        result = MixedPrecisionCholesky(tile_size=tile, variant=variant).factorize(spd)
+        tol = 1e-12 if variant == "DP" else 2e-2
+        assert result.relative_error(spd) < tol
+        lower = result.lower()
+        assert np.allclose(lower, np.tril(lower))
+        assert np.all(np.diag(lower) > 0)
+
+    @_SETTINGS
+    @given(st.integers(min_value=1, max_value=40), st.sampled_from(["DP", "DP/SP", "DP/SP/HP", "DP/HP"]))
+    def test_policy_total_and_diagonal_double(self, n_tiles, variant):
+        policy = variant_policy(variant)
+        pm = policy.precision_map(n_tiles)
+        assert len(pm) == n_tiles * (n_tiles + 1) // 2
+        assert all(pm[(i, i)] is Precision.DOUBLE for i in range(n_tiles))
+
+    @_SETTINGS
+    @given(st.integers(min_value=1, max_value=200), st.floats(0, 1))
+    def test_band_flop_fraction_bounds(self, n_tiles, frac):
+        value = band_flop_fraction(n_tiles, frac * n_tiles)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+class TestRuntimeProperties:
+    @_SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=25))
+    def test_task_graph_is_acyclic_and_complete(self, keys):
+        tasks = [
+            Task(
+                name=f"t{i}",
+                kind="W",
+                reads=((("x", k - 1),) if k > 0 else ()),
+                writes=(("x", k),),
+                flops=1.0,
+            )
+            for i, k in enumerate(keys)
+        ]
+        graph = build_task_graph(tasks)
+        assert graph.n_tasks == len(tasks)
+        order = [t.name for t in graph.topological_order()]
+        position = {name: i for i, name in enumerate(order)}
+        for u, v in graph.graph.edges:
+            assert position[u] < position[v]
+
+
+class TestModelProperties:
+    @_SETTINGS
+    @given(
+        hnp.arrays(np.float64, st.integers(2, 60), elements=st.floats(0, 10)),
+        st.floats(0.0, 0.99),
+    )
+    def test_distributed_lag_stays_within_forcing_range(self, forcing, rho):
+        d = distributed_lag_series(forcing, rho)
+        assert d.shape == forcing.shape
+        assert np.all(d >= forcing.min() - 1e-9)
+        assert np.all(d <= forcing.max() + 1e-9)
+
+    @_SETTINGS
+    @given(st.integers(1, 50), st.integers(1, 20), st.integers(1, 4))
+    def test_archive_bytes_monotone(self, years, steps, members):
+        grid = Grid(ntheta=11, nphi=20)
+        small = StorageScenario("s", grid, years, steps, members)
+        bigger = StorageScenario("b", grid, years + 1, steps, members)
+        assert archive_bytes(bigger) > archive_bytes(small)
