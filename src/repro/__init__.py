@@ -4,6 +4,11 @@ This package reimplements, in pure Python/NumPy, the system described in
 "Boosting Earth System Model Outputs And Saving PetaBytes in Their Storage
 Using Exascale Climate Emulators" (Abdulah et al., SC 2024):
 
+* :mod:`repro.api` — the public API layer: the versioned
+  :class:`EmulatorArtifact` persistence format, the backend registries
+  behind the named SHT and Cholesky-precision variants, and the
+  :func:`fit` / :func:`save` / :func:`load` / :func:`emulate` /
+  :func:`emulate_stream` facade re-exported here.
 * :mod:`repro.sht` — spherical harmonic transform substrate (Eqs. 3-8).
 * :mod:`repro.core` — the climate emulator itself: distributed-lag mean
   trend, spectral stochastic model with a diagonal VAR, innovation
@@ -21,8 +26,52 @@ Using Exascale Climate Emulators" (Abdulah et al., SC 2024):
   claims.
 * :mod:`repro.stats` — statistical-consistency diagnostics between
   simulations and emulations.
+
+Quickstart
+----------
+>>> import repro                                           # doctest: +SKIP
+>>> sims = repro.Era5LikeGenerator(
+...     repro.Era5LikeConfig(lmax=16, n_years=5)).generate()  # doctest: +SKIP
+>>> emulator = repro.fit(sims, lmax=16)                    # doctest: +SKIP
+>>> repro.save(emulator, "emulator.npz")                   # doctest: +SKIP
+>>> emulations = repro.emulate("emulator.npz", 5)          # doctest: +SKIP
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+from repro.core.config import EmulatorConfig
+from repro.core.emulator import ClimateEmulator
+from repro.data.ensemble import ClimateEnsemble
+from repro.data.era5_like import Era5LikeConfig, Era5LikeGenerator
+from repro.linalg.policies import CHOLESKY_VARIANTS
+from repro.sht.backends import SHT_BACKENDS
+from repro.api.registry import BackendRegistry, UnknownBackendError
+from repro.api.artifact import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    EmulatorArtifact,
+    SchemaVersionError,
+)
+from repro.api.facade import emulate, emulate_stream, fit, load, save
+
+__all__ = [
+    "ArtifactError",
+    "BackendRegistry",
+    "CHOLESKY_VARIANTS",
+    "ClimateEmulator",
+    "ClimateEnsemble",
+    "EmulatorArtifact",
+    "EmulatorConfig",
+    "Era5LikeConfig",
+    "Era5LikeGenerator",
+    "SCHEMA_VERSION",
+    "SHT_BACKENDS",
+    "SchemaVersionError",
+    "UnknownBackendError",
+    "__version__",
+    "emulate",
+    "emulate_stream",
+    "fit",
+    "load",
+    "save",
+]

@@ -1,0 +1,118 @@
+"""Top-level convenience API: ``repro.fit`` / ``save`` / ``load`` / ``emulate``.
+
+The facade covers the fit-once / emulate-anywhere workflow in four calls:
+
+>>> import repro                                      # doctest: +SKIP
+>>> emulator = repro.fit(ensemble, lmax=16)           # doctest: +SKIP
+>>> repro.save(emulator, "emulator.npz")              # doctest: +SKIP
+>>> emulations = repro.emulate("emulator.npz", n_realizations=5)  # doctest: +SKIP
+>>> for chunk in repro.emulate_stream("emulator.npz", n_times=8760):
+...     write(chunk)                                  # doctest: +SKIP
+
+Everything delegates to :class:`~repro.core.emulator.ClimateEmulator` and
+:class:`~repro.api.artifact.EmulatorArtifact`; the class-based API remains
+fully supported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Iterator
+
+import numpy as np
+
+from repro.api.artifact import EmulatorArtifact
+from repro.core.config import EmulatorConfig
+from repro.core.emulator import ClimateEmulator
+from repro.data.ensemble import ClimateEnsemble
+
+__all__ = ["emulate", "emulate_stream", "fit", "load", "save"]
+
+
+def fit(
+    ensemble: ClimateEnsemble,
+    config: EmulatorConfig | None = None,
+    **overrides,
+) -> ClimateEmulator:
+    """Fit a :class:`ClimateEmulator` on a simulation ensemble.
+
+    Parameters
+    ----------
+    ensemble:
+        The training ensemble.
+    config:
+        Emulator configuration; defaults to ``EmulatorConfig()``.
+    **overrides:
+        Individual :class:`EmulatorConfig` fields overriding ``config``
+        (e.g. ``fit(ensemble, lmax=16, precision_variant="DP/SP")``).
+    """
+    if config is None:
+        config = EmulatorConfig(**overrides)
+    elif overrides:
+        config = dataclasses.replace(config, **overrides)
+    return ClimateEmulator(config).fit(ensemble)
+
+
+def save(emulator: ClimateEmulator, path: "str | os.PathLike") -> str:
+    """Persist a fitted emulator as an NPZ artifact; returns the path."""
+    return emulator.save(path)
+
+
+def load(path: "str | os.PathLike") -> ClimateEmulator:
+    """Load a fitted emulator from an artifact written by :func:`save`."""
+    return EmulatorArtifact.load(path).to_emulator()
+
+
+def _resolve(source) -> ClimateEmulator:
+    if isinstance(source, ClimateEmulator):
+        return source
+    if isinstance(source, (str, os.PathLike)):
+        return load(source)
+    raise TypeError(
+        f"expected a ClimateEmulator or an artifact path, got {type(source).__name__}"
+    )
+
+
+def emulate(
+    source,
+    n_realizations: int = 1,
+    n_times: int | None = None,
+    annual_forcing: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+    include_nugget: bool = True,
+) -> ClimateEnsemble:
+    """Generate emulations from a fitted emulator or a saved artifact path.
+
+    See :meth:`ClimateEmulator.emulate` for the parameters.
+    """
+    return _resolve(source).emulate(
+        n_realizations=n_realizations,
+        n_times=n_times,
+        annual_forcing=annual_forcing,
+        rng=rng,
+        include_nugget=include_nugget,
+    )
+
+
+def emulate_stream(
+    source,
+    n_realizations: int = 1,
+    n_times: int | None = None,
+    annual_forcing: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+    include_nugget: bool = True,
+    chunk_size: int | None = None,
+) -> Iterator[ClimateEnsemble]:
+    """Stream emulation chunks from a fitted emulator or artifact path.
+
+    See :meth:`ClimateEmulator.emulate_stream` for the parameters.
+    """
+    return _resolve(source).emulate_stream(
+        n_realizations=n_realizations,
+        n_times=n_times,
+        annual_forcing=annual_forcing,
+        rng=rng,
+        include_nugget=include_nugget,
+        chunk_size=chunk_size,
+    )

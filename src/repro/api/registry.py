@@ -1,0 +1,13 @@
+"""Public alias of the backend-registry mechanism.
+
+The implementation lives in :mod:`repro.util.registry`, a dependency-free
+leaf module, so that the low-level packages registering backends
+(:mod:`repro.sht.backends`, :mod:`repro.linalg.policies`) never import the
+API layer.  This module is the public spelling of the same names.
+"""
+
+from __future__ import annotations
+
+from repro.util.registry import BackendRegistry, BackendSpec, UnknownBackendError
+
+__all__ = ["BackendRegistry", "BackendSpec", "UnknownBackendError"]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -34,7 +34,14 @@ class EmulatorConfig:
         the innovation covariance.
     precision_variant:
         ``"DP"``, ``"DP/SP"``, ``"DP/SP/HP"`` or ``"DP/HP"`` — the tile
-        precision policy used for the covariance factorisation.
+        precision policy used for the covariance factorisation.  Resolved
+        by name through
+        :data:`repro.linalg.policies.CHOLESKY_VARIANTS`, so any policy
+        registered there is accepted.
+    sht_method:
+        Name of the spherical-harmonic-transform backend, resolved through
+        :data:`repro.sht.backends.SHT_BACKENDS` (``"fast"`` is the paper's
+        FFT/Wigner transform; ``"direct"`` the summation reference).
     covariance_jitter:
         Relative ridge added to the empirical covariance when
         ``R (T - P) < L^2`` leaves it rank deficient (paper Section
@@ -53,6 +60,7 @@ class EmulatorConfig:
     precision_variant: str = "DP"
     covariance_jitter: float = 1e-6
     use_distributed_lag: bool = True
+    sht_method: str = "fast"
 
     def __post_init__(self) -> None:
         if self.lmax < 1:
@@ -85,6 +93,28 @@ class EmulatorConfig:
             "var_order": self.var_order,
             "tile_size": self.tile_size,
             "precision_variant": self.precision_variant,
+            "covariance_jitter": self.covariance_jitter,
             "rho_grid": list(self.rho_grid),
             "use_distributed_lag": self.use_distributed_lag,
+            "sht_method": self.sht_method,
         }
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-able dict from which :meth:`from_dict` rebuilds the config."""
+        return self.describe()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EmulatorConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Derived or unknown keys (e.g. ``n_coeffs``) are ignored so configs
+        saved by newer builds with extra reporting fields still load.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in dict(data).items() if k in known}
+        if "rho_grid" in kwargs:
+            kwargs["rho_grid"] = tuple(float(r) for r in kwargs["rho_grid"])
+        return cls(**kwargs)

@@ -15,6 +15,7 @@ Given a fitted emulator, new realisations are produced by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -81,22 +82,125 @@ class EmulationGenerator:
         -------
         ClimateEnsemble
             The emulated ensemble, marked ``metadata["source"] = "emulator"``.
-        """
-        if n_realizations < 1 or n_times < 1:
-            raise ValueError("n_realizations and n_times must be positive")
-        rng = rng or np.random.default_rng()
-        annual_forcing = np.asarray(annual_forcing, dtype=np.float64)
 
-        mean = self.trend_model.predict(n_times, annual_forcing, self.trend_fit)
-        z = self.spectral_model.generate_standardized(
-            rng, n_realizations, n_times, include_nugget=include_nugget
-        )
-        fields = mean[None, ...] + self.scale.unstandardize(z)
+        Notes
+        -----
+        Implemented as the single-chunk case of :meth:`generate_stream`
+        (``chunk_size = n_times``), so the monolithic and streaming paths
+        cannot drift apart.
+        """
+        annual_forcing = np.asarray(annual_forcing, dtype=np.float64)
+        chunk = next(iter(self.generate_stream(
+            n_realizations=n_realizations,
+            n_times=n_times,
+            annual_forcing=annual_forcing,
+            rng=rng,
+            include_nugget=include_nugget,
+            start_year=start_year,
+            chunk_size=n_times,
+        )))
         return ClimateEnsemble(
-            data=fields,
+            data=chunk.data,
             grid=self.grid,
             forcing_annual=annual_forcing,
             steps_per_year=self.steps_per_year,
             start_year=start_year,
             metadata={"source": "emulator", "include_nugget": include_nugget},
         )
+
+    def generate_stream(
+        self,
+        n_realizations: int,
+        n_times: int,
+        annual_forcing: np.ndarray,
+        rng: np.random.Generator | None = None,
+        include_nugget: bool = True,
+        start_year: int = 1940,
+        chunk_size: int | None = None,
+    ) -> Iterator[ClimateEnsemble]:
+        """Yield the emulation as a stream of time chunks.
+
+        Bounded-memory counterpart of :meth:`generate` for long scenario
+        runs: at most ``chunk_size`` time steps are materialised at once.
+        The VAR history is carried across chunks, and the mean trend is
+        evaluated at the absolute time offset of each chunk, so the
+        concatenated chunks form one coherent realisation.  A single chunk
+        covering the whole record (``chunk_size >= n_times``) is bit-exact
+        with :meth:`generate`.
+
+        Parameters
+        ----------
+        n_realizations / n_times / annual_forcing / rng / include_nugget:
+            As in :meth:`generate`.
+        chunk_size:
+            Time steps per yielded chunk (one model year when omitted).
+
+        Yields
+        ------
+        ClimateEnsemble
+            Chunks of shape ``(n_realizations, <=chunk_size, ntheta, nphi)``
+            with ``metadata["stream_offset"]`` giving the absolute index of
+            the chunk's first time step.  Each chunk's ``forcing_annual``
+            is re-based to the chunk's first calendar year, so
+            ``forcing_per_step()`` on a chunk is exact whenever chunks
+            align with year boundaries (always true for the default
+            one-year ``chunk_size``); ``metadata["stream_phase"]`` records
+            the intra-year offset otherwise.
+        """
+        # Validate eagerly (this is a plain function returning a generator),
+        # so bad arguments raise at the call site rather than at first next().
+        if n_realizations < 1 or n_times < 1:
+            raise ValueError("n_realizations and n_times must be positive")
+        if chunk_size is None:
+            chunk_size = self.steps_per_year
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        rng = rng or np.random.default_rng()
+        annual_forcing = np.asarray(annual_forcing, dtype=np.float64)
+        needed_years = -(-n_times // self.steps_per_year)
+        if len(annual_forcing) < needed_years:
+            # A mid-stream failure would leave consumers with a silently
+            # truncated scenario, so the forcing horizon is checked up front.
+            raise ValueError(
+                f"forcing covers {len(annual_forcing)} years but {n_times} "
+                f"steps require {needed_years}"
+            )
+        return self._stream_chunks(
+            n_realizations, n_times, annual_forcing, rng, include_nugget,
+            start_year, chunk_size,
+        )
+
+    def _stream_chunks(
+        self,
+        n_realizations: int,
+        n_times: int,
+        annual_forcing: np.ndarray,
+        rng: np.random.Generator,
+        include_nugget: bool,
+        start_year: int,
+        chunk_size: int,
+    ) -> Iterator[ClimateEnsemble]:
+        stream = self.spectral_model.generate_standardized_stream(
+            rng, n_realizations, n_times, chunk_size, include_nugget=include_nugget
+        )
+        for t_start, z in stream:
+            nt = z.shape[1]
+            mean = self.trend_model.predict(
+                nt, annual_forcing, self.trend_fit, t_start=t_start
+            )
+            fields = mean[None, ...] + self.scale.unstandardize(z)
+            year_offset = t_start // self.steps_per_year
+            yield ClimateEnsemble(
+                data=fields,
+                grid=self.grid,
+                forcing_annual=annual_forcing[year_offset:],
+                steps_per_year=self.steps_per_year,
+                start_year=start_year + year_offset,
+                metadata={
+                    "source": "emulator",
+                    "include_nugget": include_nugget,
+                    "stream_offset": t_start,
+                    "stream_phase": t_start % self.steps_per_year,
+                    "stream_total_times": n_times,
+                },
+            )

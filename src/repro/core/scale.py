@@ -70,3 +70,21 @@ class ScaleField:
             "mean": float(self.sigma.mean()),
             "max": float(self.sigma.max()),
         }
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Arrays and metadata from which :meth:`from_state` rebuilds the field."""
+        return {
+            "sigma": np.asarray(self.sigma, dtype=np.float64),
+            "floor": float(self.floor),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ScaleField":
+        """Rebuild a scale field from :meth:`state_dict` output."""
+        return cls(
+            sigma=np.asarray(state["sigma"], dtype=np.float64),
+            floor=float(state["floor"]),
+        )

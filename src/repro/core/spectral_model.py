@@ -15,11 +15,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import Iterator
+
 from repro.core.var import DiagonalVAR
 from repro.linalg.cholesky import CholeskyResult, MixedPrecisionCholesky
+from repro.sht.backends import SHT_BACKENDS
 from repro.sht.grid import Grid
 from repro.sht.realform import complex_from_real, real_from_complex
-from repro.sht.transform import SHTPlan
 
 __all__ = ["SpectralStochasticModel"]
 
@@ -38,7 +40,12 @@ class SpectralStochasticModel:
         Diagonal VAR order ``P``.
     tile_size / precision_variant / covariance_jitter:
         Parameters of the mixed-precision Cholesky of the innovation
-        covariance.
+        covariance.  ``precision_variant`` is resolved by name through
+        :data:`repro.linalg.policies.CHOLESKY_VARIANTS`.
+    sht_method:
+        Name of the SHT backend, resolved through
+        :data:`repro.sht.backends.SHT_BACKENDS` (``"fast"`` or
+        ``"direct"``; any registered name works).
     """
 
     lmax: int
@@ -47,8 +54,9 @@ class SpectralStochasticModel:
     tile_size: int = 32
     precision_variant: str = "DP"
     covariance_jitter: float = 1e-6
+    sht_method: str = "fast"
 
-    plan: SHTPlan = field(init=False, repr=False)
+    plan: object = field(init=False, repr=False)
     var: DiagonalVAR = field(init=False, repr=False)
     covariance: np.ndarray | None = field(init=False, default=None, repr=False)
     cholesky: CholeskyResult | None = field(init=False, default=None, repr=False)
@@ -56,7 +64,7 @@ class SpectralStochasticModel:
     initial_state: np.ndarray | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
-        self.plan = SHTPlan(lmax=self.lmax, grid=self.grid)
+        self.plan = SHT_BACKENDS.create(self.sht_method, lmax=self.lmax, grid=self.grid)
         self.var = DiagonalVAR(order=self.var_order)
 
     # ------------------------------------------------------------------ #
@@ -150,15 +158,111 @@ class SpectralStochasticModel:
         n_times: int,
         include_nugget: bool = True,
     ) -> np.ndarray:
-        """Generate standardised stochastic fields ``Z_t`` (Section III-B)."""
+        """Generate standardised stochastic fields ``Z_t`` (Section III-B).
+
+        Implemented as the single-chunk case of
+        :meth:`generate_standardized_stream`, so the two paths cannot
+        drift apart.
+        """
+        stream = self.generate_standardized_stream(
+            rng, n_realizations, n_times, chunk_size=n_times,
+            include_nugget=include_nugget,
+        )
+        return next(iter(stream))[1]
+
+    def generate_standardized_stream(
+        self,
+        rng: np.random.Generator,
+        n_realizations: int,
+        n_times: int,
+        chunk_size: int,
+        include_nugget: bool = True,
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(t_start, fields)`` chunks of the standardised process.
+
+        Bounded-memory generation: at most ``chunk_size`` time steps are
+        materialised at once, and the VAR history is carried across chunks
+        so the concatenated stream follows the same AR(P) recursion as a
+        single monolithic draw.  :meth:`generate_standardized` is the
+        single-chunk case (``chunk_size = n_times``), so a stream whose
+        first chunk covers the whole record reproduces its output bit for
+        bit.
+        """
         if self.cholesky is None or self.nugget_std is None:
             raise RuntimeError("fit() must be called first")
-        xi = self.sample_innovations(rng, n_realizations, n_times)
-        series = self.var.simulate(xi, initial=self.initial_state)
-        fields = self.plan.inverse(complex_from_real(series))
-        if include_nugget:
-            fields = fields + self.nugget_std * rng.standard_normal(fields.shape)
-        return fields
+        if n_realizations < 1 or n_times < 1:
+            raise ValueError("n_realizations and n_times must be positive")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        p = self.var_order
+        k = self.cholesky.factor.n
+        if p > 0:
+            init = (
+                np.asarray(self.initial_state, dtype=np.float64)
+                if self.initial_state is not None
+                else np.zeros((p, k))
+            )
+            history = np.broadcast_to(init[-p:], (n_realizations, p, k)).copy()
+        else:
+            history = None
+        for t_start in range(0, n_times, chunk_size):
+            nt = min(chunk_size, n_times - t_start)
+            xi = self.sample_innovations(rng, n_realizations, nt)
+            series = self.var.simulate(xi, initial=history)
+            if p > 0:
+                history = np.concatenate([history, series], axis=1)[:, -p:, :]
+            fields = self.plan.inverse(complex_from_real(series))
+            if include_nugget:
+                fields = fields + self.nugget_std * rng.standard_normal(fields.shape)
+            yield t_start, fields
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Arrays and metadata from which :meth:`from_state` rebuilds the model."""
+        if self.covariance is None or self.cholesky is None or self.nugget_std is None:
+            raise RuntimeError("fit() must be called before state_dict()")
+        return {
+            "lmax": int(self.lmax),
+            "grid": {"ntheta": int(self.grid.ntheta), "nphi": int(self.grid.nphi)},
+            "var_order": int(self.var_order),
+            "tile_size": int(self.tile_size),
+            "precision_variant": str(self.precision_variant),
+            "covariance_jitter": float(self.covariance_jitter),
+            "sht_method": str(self.sht_method),
+            "covariance": np.asarray(self.covariance, dtype=np.float64),
+            "nugget_std": np.asarray(self.nugget_std, dtype=np.float64),
+            "initial_state": (
+                np.asarray(self.initial_state, dtype=np.float64)
+                if self.initial_state is not None
+                else None
+            ),
+            "var": self.var.state_dict(),
+            "cholesky": self.cholesky.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SpectralStochasticModel":
+        """Rebuild a fitted model from :meth:`state_dict` output."""
+        grid = Grid(ntheta=int(state["grid"]["ntheta"]), nphi=int(state["grid"]["nphi"]))
+        model = cls(
+            lmax=int(state["lmax"]),
+            grid=grid,
+            var_order=int(state["var_order"]),
+            tile_size=int(state["tile_size"]),
+            precision_variant=str(state["precision_variant"]),
+            covariance_jitter=float(state["covariance_jitter"]),
+            sht_method=str(state.get("sht_method", "fast")),
+        )
+        model.var = DiagonalVAR.from_state(state["var"])
+        model.covariance = np.asarray(state["covariance"], dtype=np.float64)
+        model.nugget_std = np.asarray(state["nugget_std"], dtype=np.float64)
+        initial_state = state.get("initial_state")
+        if initial_state is not None:
+            model.initial_state = np.asarray(initial_state, dtype=np.float64)
+        model.cholesky = CholeskyResult.from_state(state["cholesky"])
+        return model
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -79,6 +79,28 @@ class TrendFit:
             raise ValueError(f"harmonic {k} not in the model") from exc
         return np.sqrt(self.coefficients[..., ia] ** 2 + self.coefficients[..., ib] ** 2)
 
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Arrays and metadata from which :meth:`from_state` rebuilds the fit."""
+        return {
+            "coefficients": np.asarray(self.coefficients, dtype=np.float64),
+            "rho": np.asarray(self.rho, dtype=np.float64),
+            "residual_variance": np.asarray(self.residual_variance, dtype=np.float64),
+            "regressor_names": list(self.regressor_names),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TrendFit":
+        """Rebuild a fit from :meth:`state_dict` output."""
+        return cls(
+            coefficients=np.asarray(state["coefficients"], dtype=np.float64),
+            rho=np.asarray(state["rho"], dtype=np.float64),
+            residual_variance=np.asarray(state["residual_variance"], dtype=np.float64),
+            regressor_names=[str(n) for n in state["regressor_names"]],
+        )
+
 
 class MeanTrendModel:
     """Fit and evaluate the mean-trend model for every grid point.
@@ -123,11 +145,21 @@ class MeanTrendModel:
         return names
 
     def design_matrix(
-        self, n_times: int, annual_forcing: np.ndarray, rho: float
+        self,
+        n_times: int,
+        annual_forcing: np.ndarray,
+        rho: float,
+        t_start: int = 0,
     ) -> np.ndarray:
-        """Design matrix of shape ``(T, p)`` shared by all locations."""
-        t = np.arange(n_times, dtype=np.float64)
-        year = (np.arange(n_times) // self.steps_per_year).astype(int)
+        """Design matrix of shape ``(T, p)`` shared by all locations.
+
+        ``t_start`` offsets the time axis: the rows cover absolute steps
+        ``t_start .. t_start + n_times - 1``, which lets streaming
+        generation evaluate the trend chunk by chunk.
+        """
+        steps = np.arange(t_start, t_start + n_times)
+        t = steps.astype(np.float64)
+        year = (steps // self.steps_per_year).astype(int)
         x = np.asarray(annual_forcing, dtype=np.float64)
         if year.max() >= len(x):
             raise ValueError("forcing trajectory shorter than the data record")
@@ -213,11 +245,14 @@ class MeanTrendModel:
         n_times: int,
         annual_forcing: np.ndarray,
         fit: TrendFit | None = None,
+        t_start: int = 0,
     ) -> np.ndarray:
         """Evaluate ``m_t`` for every location, shape ``(T, ntheta, nphi)``.
 
         The per-location ``rho`` values are grouped so each distinct value
-        triggers one design-matrix evaluation.
+        triggers one design-matrix evaluation.  ``t_start`` evaluates the
+        trend for absolute steps ``t_start .. t_start + n_times - 1``
+        (chunked/streaming generation).
         """
         fit = fit or self.fit_result
         if fit is None:
@@ -227,7 +262,7 @@ class MeanTrendModel:
         rho_flat = fit.rho.reshape(-1)
         out = np.empty((n_times, coeffs.shape[0]), dtype=np.float64)
         for rho in np.unique(rho_flat):
-            design = self.design_matrix(n_times, annual_forcing, float(rho))
+            design = self.design_matrix(n_times, annual_forcing, float(rho), t_start=t_start)
             mask = rho_flat == rho
             out[:, mask] = design @ coeffs[mask].T
         return out.reshape((n_times,) + space_shape)
@@ -244,3 +279,29 @@ class MeanTrendModel:
             data = data[None, ...]
         mean = self.predict(data.shape[1], annual_forcing, fit)
         return data - mean[None, ...]
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Hyper-parameters from which :meth:`from_state` rebuilds the model.
+
+        The fitted coefficients live in :class:`TrendFit` and are serialised
+        separately (the model object itself is pure configuration).
+        """
+        return {
+            "steps_per_year": int(self.steps_per_year),
+            "n_harmonics": int(self.n_harmonics),
+            "rho_grid": [float(r) for r in self.rho_grid],
+            "use_distributed_lag": bool(self.use_distributed_lag),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MeanTrendModel":
+        """Rebuild a model from :meth:`state_dict` output."""
+        return cls(
+            steps_per_year=int(state["steps_per_year"]),
+            n_harmonics=int(state["n_harmonics"]),
+            rho_grid=tuple(float(r) for r in state["rho_grid"]),
+            use_distributed_lag=bool(state["use_distributed_lag"]),
+        )

@@ -195,6 +195,30 @@ class DiagonalVAR:
             return np.zeros(n_comp)
         return self._companion_radii(coeffs)
 
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Arrays and metadata from which :meth:`from_state` rebuilds the VAR."""
+        return {
+            "order": int(self.order),
+            "ridge": float(self.ridge),
+            "coefficients": (
+                np.asarray(self.coefficients, dtype=np.float64)
+                if self.coefficients is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DiagonalVAR":
+        """Rebuild a VAR from :meth:`state_dict` output."""
+        var = cls(order=int(state["order"]), ridge=float(state["ridge"]))
+        coefficients = state.get("coefficients")
+        if coefficients is not None:
+            var.coefficients = np.asarray(coefficients, dtype=np.float64)
+        return var
+
     @staticmethod
     def _companion_radii(coeffs: np.ndarray) -> np.ndarray:
         p, n_comp = coeffs.shape

@@ -30,6 +30,7 @@ from repro.linalg.flops import (
     trsm_flops,
 )
 from repro.linalg.policies import (
+    CHOLESKY_VARIANTS,
     PrecisionPolicy,
     VARIANTS,
     adaptive_policy,
@@ -46,6 +47,7 @@ from repro.linalg.cholesky import (
 )
 
 __all__ = [
+    "CHOLESKY_VARIANTS",
     "CholeskyPlan",
     "MixedPrecisionCholesky",
     "PRECISIONS",

@@ -25,7 +25,8 @@ from scipy.linalg import solve_triangular
 
 from repro.linalg.flops import gemm_flops, potrf_flops, syrk_flops, trsm_flops
 from repro.linalg.policies import PrecisionPolicy, variant_policy
-from repro.linalg.precision import Precision
+from repro.linalg.precision import PRECISIONS, Precision
+from repro.linalg.tile import Tile
 from repro.linalg.tiled_matrix import TiledSymmetricMatrix
 from repro.runtime.communication import ConversionSide
 from repro.runtime.dag import TaskGraph, build_task_graph
@@ -270,6 +271,61 @@ class CholeskyResult:
         shape = (size,) if isinstance(size, int) else tuple(size)
         z = rng.standard_normal(shape + (n,))
         return z @ self.lower().T
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Arrays and metadata from which :meth:`from_state` rebuilds the result.
+
+        Each lower-triangle tile is stored *at its native precision* (fp64 /
+        fp32 / fp16 all serialise losslessly to NPZ), so the round trip is
+        bit-exact and the on-disk artifact genuinely reflects the
+        mixed-precision storage savings rather than re-inflating every tile
+        to float64.
+        """
+        tiles = {
+            f"{i}_{j}": tile.data for (i, j), tile in self.factor.tiles.items()
+        }
+        return {
+            "tiles": tiles,
+            "n": int(self.factor.n),
+            "variant": str(self.variant),
+            "tile_size": int(self.tile_size),
+            "flops_by_precision": {k: float(v) for k, v in self.flops_by_precision.items()},
+            "total_flops": float(self.total_flops),
+            "storage_bytes": int(self.storage_bytes),
+            "dense_bytes": int(self.dense_bytes),
+            "conversions": int(self.conversions),
+            "n_tasks": int(self.n_tasks),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CholeskyResult":
+        """Rebuild a factorisation result from :meth:`state_dict` output."""
+        dtype_to_precision = {p.dtype: p for p in PRECISIONS}
+        tiles: dict[tuple[int, int], Tile] = {}
+        for key, data in state["tiles"].items():
+            i, j = (int(part) for part in key.split("_"))
+            data = np.asarray(data)
+            precision = dtype_to_precision.get(data.dtype)
+            if precision is None:
+                raise ValueError(f"tile ({i}, {j}) has unsupported dtype {data.dtype}")
+            tiles[(i, j)] = Tile(data=data, precision=precision)
+        factor = TiledSymmetricMatrix(
+            n=int(state["n"]), tile_size=int(state["tile_size"]), tiles=tiles
+        )
+        return cls(
+            factor=factor,
+            variant=str(state["variant"]),
+            tile_size=int(state["tile_size"]),
+            flops_by_precision={str(k): float(v) for k, v in state["flops_by_precision"].items()},
+            total_flops=float(state["total_flops"]),
+            storage_bytes=int(state["storage_bytes"]),
+            dense_bytes=int(state["dense_bytes"]),
+            conversions=int(state["conversions"]),
+            n_tasks=int(state["n_tasks"]),
+        )
 
 
 @dataclass

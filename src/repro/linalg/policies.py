@@ -28,8 +28,10 @@ from typing import Callable
 import numpy as np
 
 from repro.linalg.precision import Precision
+from repro.util.registry import BackendRegistry
 
 __all__ = [
+    "CHOLESKY_VARIANTS",
     "PrecisionPolicy",
     "band_policy",
     "variant_policy",
@@ -104,28 +106,55 @@ def band_policy(
     return PrecisionPolicy(name=name, assign=assign)
 
 
+#: Registry of named Cholesky tile-precision policies.  The four paper
+#: variants are registered below; new policies can be added with
+#: ``CHOLESKY_VARIANTS.register(name, factory)`` and then referenced by
+#: name from :class:`~repro.core.config.EmulatorConfig` without touching
+#: any consumer code.
+CHOLESKY_VARIANTS = BackendRegistry("Cholesky precision variant")
+
+CHOLESKY_VARIANTS.register(
+    "DP",
+    lambda: band_policy("DP", (), Precision.DOUBLE),
+    description="every tile in double precision (the reference)",
+)
+CHOLESKY_VARIANTS.register(
+    "DP/SP",
+    lambda: band_policy("DP/SP", ((1, Precision.DOUBLE),), Precision.SINGLE),
+    description="double-precision diagonal band, single precision elsewhere",
+)
+CHOLESKY_VARIANTS.register(
+    "DP/SP/HP",
+    lambda: band_policy(
+        "DP/SP/HP",
+        ((1, Precision.DOUBLE), (0.05, Precision.SINGLE)),
+        Precision.HALF,
+    ),
+    description=(
+        "double-precision diagonal band, nearest 5% of off-diagonal bands "
+        "in single precision, half precision elsewhere"
+    ),
+)
+CHOLESKY_VARIANTS.register(
+    "DP/HP",
+    lambda: band_policy("DP/HP", ((1, Precision.DOUBLE),), Precision.HALF),
+    description="double-precision diagonal band, half precision elsewhere",
+)
+
+
 def variant_policy(variant: str) -> PrecisionPolicy:
-    """The paper's four named variants: DP, DP/SP, DP/SP/HP, DP/HP.
+    """The paper's named variants (DP, DP/SP, DP/SP/HP, DP/HP) by name.
 
     The diagonal band (distance 0, i.e. the diagonal tiles and their
     immediate neighbours' diagonal blocks) stays in double precision in all
     mixed variants; DP/SP/HP additionally keeps the nearest 5% of
-    off-diagonal bands in single precision (Section IV-B).
+    off-diagonal bands in single precision (Section IV-B).  Resolution goes
+    through :data:`CHOLESKY_VARIANTS`, so policies registered there are
+    available here (and through :class:`~repro.core.config.EmulatorConfig`)
+    under their registered names; unknown names raise an error listing the
+    available variants.
     """
-    key = variant.strip().upper().replace(" ", "")
-    if key == "DP":
-        return band_policy("DP", (), Precision.DOUBLE)
-    if key == "DP/SP":
-        return band_policy("DP/SP", ((1, Precision.DOUBLE),), Precision.SINGLE)
-    if key == "DP/SP/HP":
-        return band_policy(
-            "DP/SP/HP",
-            ((1, Precision.DOUBLE), (0.05, Precision.SINGLE)),
-            Precision.HALF,
-        )
-    if key == "DP/HP":
-        return band_policy("DP/HP", ((1, Precision.DOUBLE),), Precision.HALF)
-    raise ValueError(f"unknown precision variant {variant!r}")
+    return CHOLESKY_VARIANTS.create(variant)
 
 
 #: The four variants studied in the paper, in increasing aggressiveness.

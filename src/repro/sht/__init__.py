@@ -35,12 +35,15 @@ from repro.sht.transform import (
     sht_inverse,
 )
 from repro.sht.direct import direct_forward, direct_inverse
+from repro.sht.backends import SHT_BACKENDS, DirectSHTPlan
 from repro.sht.spectrum import angular_power_spectrum, spectrum_from_grid
 from repro.sht.wigner import wigner_d_pi2, wigner_d_pi2_all, wigner_d_explicit
 
 __all__ = [
+    "DirectSHTPlan",
     "Grid",
     "SHTPlan",
+    "SHT_BACKENDS",
     "angular_power_spectrum",
     "coeff_index",
     "coeff_lm",

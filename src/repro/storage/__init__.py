@@ -16,6 +16,7 @@ from repro.storage.accounting import (
     archive_bytes,
     emulator_parameter_bytes,
     format_bytes,
+    measured_artifact_report,
     savings_report,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "archive_bytes",
     "emulator_parameter_bytes",
     "format_bytes",
+    "measured_artifact_report",
     "savings_report",
 ]

@@ -1,0 +1,14 @@
+"""Dependency-free utilities shared across layers.
+
+Modules here may be imported by any package in the library (including the
+leaf packages :mod:`repro.sht` and :mod:`repro.linalg`) and must therefore
+not import from any other ``repro`` subpackage.
+
+* :mod:`repro.util.registry` — the :class:`BackendRegistry` mechanism
+  behind the named SHT and Cholesky-precision backends (re-exported through
+  :mod:`repro.api.registry` for the public API).
+"""
+
+from repro.util.registry import BackendRegistry, BackendSpec, UnknownBackendError
+
+__all__ = ["BackendRegistry", "BackendSpec", "UnknownBackendError"]

@@ -1,0 +1,206 @@
+"""Named, self-describing backend registries.
+
+Compute-kernel selection in the emulator — which spherical-harmonic
+transform implementation to use, which precision policy the tile Cholesky
+factorises under — used to be scattered ``if name == ...`` string dispatch.
+This module provides the single mechanism that replaces it: a
+:class:`BackendRegistry` maps a case-insensitive name to a factory, carries
+a one-line description per backend, and raises an error that *lists the
+available names* when a lookup fails.
+
+Two registries are populated by the packages that own the backends:
+
+* :data:`repro.sht.backends.SHT_BACKENDS` — ``"fast"`` (FFT/Wigner plan)
+  and ``"direct"`` (explicit-summation reference);
+* :data:`repro.linalg.policies.CHOLESKY_VARIANTS` — the ``DP``, ``DP/SP``,
+  ``DP/SP/HP`` and ``DP/HP`` precision policies.
+
+Registering a new backend requires no edits to the consumers: any name the
+registry resolves can be placed in :class:`~repro.core.config.EmulatorConfig`.
+
+This module is a dependency-free leaf (it imports nothing from ``repro``),
+so every layer — including :mod:`repro.sht` and :mod:`repro.linalg` — can
+use it without touching the API layer; :mod:`repro.api.registry` re-exports
+it as the public spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["BackendRegistry", "BackendSpec", "UnknownBackendError"]
+
+
+class UnknownBackendError(ValueError):
+    """A backend name that no registered backend answers to.
+
+    Subclasses :class:`ValueError` so call sites that historically raised
+    ``ValueError`` for unknown names keep their contract.
+    """
+
+
+def _canonical(name: str) -> str:
+    """Case-insensitive, whitespace-free lookup key for a backend name."""
+    return str(name).strip().lower().replace(" ", "")
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A registered backend: display name, factory and documentation."""
+
+    name: str
+    factory: Callable[..., Any]
+    description: str = ""
+    aliases: tuple[str, ...] = ()
+
+
+class BackendRegistry:
+    """A mapping from backend names to factories.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable description of what the registry holds (e.g.
+        ``"SHT backend"``); used in error messages.
+
+    Examples
+    --------
+    >>> registry = BackendRegistry("demo backend")
+    >>> @registry.register("double", description="multiply by two")
+    ... def make_doubler():
+    ...     return lambda x: 2 * x
+    >>> registry.create("Double")(21)
+    42
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._specs: dict[str, BackendSpec] = {}
+        self._aliases: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., Any] | None = None,
+        *,
+        description: str = "",
+        aliases: tuple[str, ...] = (),
+        overwrite: bool = False,
+    ):
+        """Register a backend factory under ``name``.
+
+        Usable directly (``registry.register("fast", make_fast)``) or as a
+        decorator (``@registry.register("fast")``).  ``aliases`` are extra
+        names resolving to the same backend; an alias may never shadow
+        another backend's primary name.  Re-registering an existing name
+        raises unless ``overwrite=True``.  Validation happens before any
+        mutation, so a rejected registration leaves the registry unchanged.
+        """
+        if factory is None:
+            def decorator(func: Callable[..., Any]) -> Callable[..., Any]:
+                self.register(
+                    name, func, description=description, aliases=aliases,
+                    overwrite=overwrite,
+                )
+                return func
+            return decorator
+
+        key = _canonical(name)
+        alias_keys: dict[str, str] = {}
+        for alias in aliases:
+            akey = _canonical(alias)
+            if akey != key:
+                alias_keys[akey] = str(alias)
+
+        # Validate every key before touching any state.
+        if not overwrite and (key in self._specs or key in self._aliases):
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        for akey, alias in alias_keys.items():
+            if akey in self._specs:
+                raise ValueError(
+                    f"{self.kind} alias {alias!r} would shadow the registered "
+                    f"backend {self._specs[akey].name!r}"
+                )
+            if not overwrite and akey in self._aliases:
+                raise ValueError(f"{self.kind} alias {alias!r} is already registered")
+
+        spec = BackendSpec(
+            name=str(name), factory=factory, description=description,
+            aliases=tuple(str(a) for a in aliases),
+        )
+        # A stale alias pointing elsewhere would shadow the new spec at
+        # resolve() time (aliases are consulted first), so retire it.
+        self._aliases.pop(key, None)
+        self._specs[key] = spec
+        for akey in alias_keys:
+            self._aliases[akey] = key
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove a backend (and its aliases) from the registry."""
+        key = _canonical(name)
+        key = self._aliases.get(key, key)
+        spec = self._specs.pop(key, None)
+        if spec is None:
+            raise UnknownBackendError(self._unknown_message(name))
+        self._aliases = {a: k for a, k in self._aliases.items() if k != key}
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def resolve(self, name: str) -> BackendSpec:
+        """The :class:`BackendSpec` registered under ``name`` (or an alias).
+
+        Raises
+        ------
+        UnknownBackendError
+            When no backend answers to ``name``; the message lists every
+            available name.
+        """
+        key = _canonical(name)
+        key = self._aliases.get(key, key)
+        spec = self._specs.get(key)
+        if spec is None:
+            raise UnknownBackendError(self._unknown_message(name))
+        return spec
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Resolve ``name`` and call its factory with the given arguments."""
+        return self.resolve(name).factory(*args, **kwargs)
+
+    def _unknown_message(self, name: str) -> str:
+        available = ", ".join(repr(n) for n in self.names()) or "<none registered>"
+        return f"unknown {self.kind} {str(name)!r}; available backends: {available}"
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def names(self) -> list[str]:
+        """Display names of every registered backend, sorted."""
+        return sorted(spec.name for spec in self._specs.values())
+
+    def describe(self) -> dict[str, str]:
+        """Mapping from display name to the backend's description."""
+        return {spec.name: spec.description for spec in self._specs.values()}
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        key = _canonical(name)
+        return key in self._specs or key in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BackendRegistry(kind={self.kind!r}, names={self.names()})"
