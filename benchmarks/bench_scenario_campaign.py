@@ -1,0 +1,88 @@
+"""E11 — scenario campaign: serial vs sharded ensemble replay.
+
+The campaign runner is the scale story of the scenario engine: one fitted
+emulator replayed across scenarios x realizations, sharded over
+``concurrent.futures`` workers with per-run ``SeedSequence``-spawned
+streams.  This benchmark measures the serial and sharded wall-clock of the
+same campaign, verifies they are bit-identical, and prints a JSON summary
+line so the run log doubles as a machine-readable record.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.scenarios.campaign import run_campaign
+from repro.storage.accounting import campaign_storage_report, format_bytes
+
+SCENARIO_NAMES = ["ssp-low", "ssp-medium", "ssp-high", "overshoot"]
+N_REALIZATIONS = 2
+N_TIMES = 4 * 24          # four model years of the benchmark calendar
+SEED = 2024
+WORKERS = 4
+
+
+def _campaign(emulator, max_workers: int):
+    return run_campaign(
+        emulator, SCENARIO_NAMES, N_REALIZATIONS, n_times=N_TIMES,
+        seed=SEED, collect="global-mean", max_workers=max_workers,
+    )
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_serial_vs_sharded(benchmark, bench_emulator):
+    t0 = time.perf_counter()
+    serial = _campaign(bench_emulator, max_workers=1)
+    t_serial = time.perf_counter() - t0
+
+    sharded = benchmark(lambda: _campaign(bench_emulator, max_workers=WORKERS))
+    t_sharded = benchmark.stats.stats.mean if benchmark.stats else float("nan")
+
+    # Sharding must not change a single bit of any run.
+    assert sharded.n_runs == serial.n_runs == len(SCENARIO_NAMES) * N_REALIZATIONS
+    for serial_run, sharded_run in zip(serial.runs, sharded.runs):
+        assert serial_run.to_dict() == sharded_run.to_dict()
+        assert np.array_equal(serial_run.collected, sharded_run.collected)
+
+    report = campaign_storage_report(sharded)
+    rows = [
+        [record.scenario, record.realization, str(record.spawn_key),
+         len(record.chunk_sizes), format_bytes(record.output_bytes)]
+        for record in sharded.runs
+    ]
+    print_table(
+        f"E11 — campaign runs ({len(SCENARIO_NAMES)} scenarios x "
+        f"{N_REALIZATIONS} realizations, {N_TIMES} steps each)",
+        ["scenario", "r", "seed-key", "chunks", "output"],
+        rows,
+    )
+    print_table(
+        "E11 — serial vs sharded wall-clock",
+        ["mode", "workers", "seconds", "runs/s"],
+        [
+            ["serial", 1, t_serial, serial.n_runs / t_serial],
+            ["sharded", WORKERS, t_sharded, sharded.n_runs / t_sharded],
+        ],
+    )
+    summary = {
+        "benchmark": "scenario_campaign",
+        "n_runs": sharded.n_runs,
+        "n_times": N_TIMES,
+        "workers": WORKERS,
+        "serial_seconds": round(t_serial, 4),
+        "sharded_seconds": round(t_sharded, 4),
+        "speedup": round(t_serial / t_sharded, 2) if t_sharded else None,
+        "bit_identical": True,
+        "campaign_output_bytes": report["campaign_output_bytes"],
+        "artifact_bytes": report["artifact_bytes"],
+        "boost_factor": round(report["boost_factor"], 2),
+    }
+    print(f"\nJSON summary: {json.dumps(summary, sort_keys=True)}")
+
+    assert report["boost_factor"] > 1.0
+    assert sharded.total_output_bytes == serial.total_output_bytes

@@ -22,6 +22,10 @@ Using Exascale Climate Emulators" (Abdulah et al., SC 2024):
   Summit plus the performance model used by the benchmark harness.
 * :mod:`repro.data` — synthetic ERA5-like data generation, radiative
   forcing trajectories and ensembles.
+* :mod:`repro.scenarios` — the scenario engine: composable forcing
+  components summed into named :class:`ScenarioSpec` pathways (resolved
+  through the :data:`SCENARIOS` registry) and the sharded
+  multi-scenario, multi-realization campaign runner :func:`run_campaign`.
 * :mod:`repro.storage` — storage accounting behind the "saving petabytes"
   claims.
 * :mod:`repro.stats` — statistical-consistency diagnostics between
@@ -35,9 +39,12 @@ Quickstart
 >>> emulator = repro.fit(sims, lmax=16)                    # doctest: +SKIP
 >>> repro.save(emulator, "emulator.npz")                   # doctest: +SKIP
 >>> emulations = repro.emulate("emulator.npz", 5)          # doctest: +SKIP
+>>> manifest = repro.run_campaign(                         # doctest: +SKIP
+...     "emulator.npz", ["ssp-low", "ssp-medium", "ssp-high"],
+...     n_realizations=5, max_workers=4)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core.config import EmulatorConfig
 from repro.core.emulator import ClimateEmulator
@@ -53,25 +60,35 @@ from repro.api.artifact import (
     SchemaVersionError,
 )
 from repro.api.facade import emulate, emulate_stream, fit, load, save
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.registry import SCENARIOS, list_scenarios, register_scenario
+# Imported after the facade: the campaign runner builds on repro.api.
+from repro.scenarios.campaign import CampaignManifest, run_campaign
 
 __all__ = [
     "ArtifactError",
     "BackendRegistry",
     "CHOLESKY_VARIANTS",
+    "CampaignManifest",
     "ClimateEmulator",
     "ClimateEnsemble",
     "EmulatorArtifact",
     "EmulatorConfig",
     "Era5LikeConfig",
     "Era5LikeGenerator",
+    "SCENARIOS",
     "SCHEMA_VERSION",
     "SHT_BACKENDS",
+    "ScenarioSpec",
     "SchemaVersionError",
     "UnknownBackendError",
     "__version__",
     "emulate",
     "emulate_stream",
     "fit",
+    "list_scenarios",
     "load",
+    "register_scenario",
+    "run_campaign",
     "save",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from repro.api.artifact import EmulatorArtifact
 from repro.core.config import EmulatorConfig
 from repro.core.emulator import ClimateEmulator
 from repro.data.ensemble import ClimateEnsemble
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["emulate", "emulate_stream", "fit", "load", "save"]
 
@@ -78,13 +81,19 @@ def emulate(
     source,
     n_realizations: int = 1,
     n_times: int | None = None,
-    annual_forcing: np.ndarray | None = None,
+    annual_forcing: "np.ndarray | str | ScenarioSpec | None" = None,
     rng: np.random.Generator | None = None,
     include_nugget: bool = True,
 ) -> ClimateEnsemble:
     """Generate emulations from a fitted emulator or a saved artifact path.
 
-    See :meth:`ClimateEmulator.emulate` for the parameters.
+    ``annual_forcing`` accepts a raw annual array, a registered scenario
+    name (``"ssp-high"``; see :func:`repro.list_scenarios`) or a
+    :class:`~repro.scenarios.spec.ScenarioSpec`.  Bare names resolve at
+    the registry's default baseline (``start_level=2.5``); pass a spec
+    built with ``repro.SCENARIOS.create(name, start_level=...)`` for a
+    different baseline.  See :meth:`ClimateEmulator.emulate` for the
+    remaining parameters.
     """
     return _resolve(source).emulate(
         n_realizations=n_realizations,
@@ -99,14 +108,16 @@ def emulate_stream(
     source,
     n_realizations: int = 1,
     n_times: int | None = None,
-    annual_forcing: np.ndarray | None = None,
+    annual_forcing: "np.ndarray | str | ScenarioSpec | None" = None,
     rng: np.random.Generator | None = None,
     include_nugget: bool = True,
     chunk_size: int | None = None,
 ) -> Iterator[ClimateEnsemble]:
     """Stream emulation chunks from a fitted emulator or artifact path.
 
-    See :meth:`ClimateEmulator.emulate_stream` for the parameters.
+    ``annual_forcing`` accepts a raw annual array, a registered scenario
+    name or a :class:`~repro.scenarios.spec.ScenarioSpec`.  See
+    :meth:`ClimateEmulator.emulate_stream` for the remaining parameters.
     """
     return _resolve(source).emulate_stream(
         n_realizations=n_realizations,

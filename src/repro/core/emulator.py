@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     import os
 
     from repro.api.artifact import EmulatorArtifact
+    from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["ClimateEmulator", "EmulatorConfig", "TrainingSummary"]
 
@@ -195,20 +196,34 @@ class ClimateEmulator:
             raise RuntimeError("the emulator must be fitted before use")
 
     def _resolve_emulation_args(
-        self, n_times: int | None, annual_forcing: np.ndarray | None
+        self, n_times: int | None, annual_forcing
     ) -> tuple[int, np.ndarray]:
-        """Validated ``(n_times, forcing)`` with training defaults applied."""
+        """Validated ``(n_times, forcing)`` with training defaults applied.
+
+        ``annual_forcing`` may be a raw annual array, a registered
+        scenario name, or a :class:`~repro.scenarios.spec.ScenarioSpec`;
+        specs and names are materialised over exactly the years the
+        emulation spans.
+        """
+        # Imported lazily: the scenario engine sits above the core layer,
+        # so the core must not depend on it at import time.
+        from repro.scenarios.registry import resolve_scenario
+        from repro.scenarios.spec import ScenarioSpec
+
         assert self.training_summary is not None
         if n_times is None:
             n_times = self.training_summary.n_times
         n_times = int(n_times)
         if n_times < 1:
             raise ValueError(f"n_times must be >= 1, got {n_times}")
-        forcing = (
-            np.asarray(annual_forcing, dtype=np.float64)
-            if annual_forcing is not None
-            else self.training_summary.forcing_annual
-        )
+        if annual_forcing is None:
+            forcing = self.training_summary.forcing_annual
+        elif isinstance(annual_forcing, (str, ScenarioSpec)):
+            spec = resolve_scenario(annual_forcing)
+            n_years = -(-n_times // self.training_summary.steps_per_year)
+            forcing = spec.annual_forcing(n_years)
+        else:
+            forcing = np.asarray(annual_forcing, dtype=np.float64)
         return n_times, forcing
 
     # ------------------------------------------------------------------ #
@@ -231,7 +246,7 @@ class ClimateEmulator:
         self,
         n_realizations: int = 1,
         n_times: int | None = None,
-        annual_forcing: np.ndarray | None = None,
+        annual_forcing: "np.ndarray | str | ScenarioSpec | None" = None,
         rng: np.random.Generator | None = None,
         include_nugget: bool = True,
     ) -> ClimateEnsemble:
@@ -246,7 +261,12 @@ class ClimateEmulator:
             least 1 when given.
         annual_forcing:
             Forcing trajectory (defaults to the training forcing, i.e. an
-            in-sample emulation; pass a scenario trajectory to project).
+            in-sample emulation).  Accepts a raw annual array, a
+            registered scenario name (``"ssp-high"``), or a
+            :class:`~repro.scenarios.spec.ScenarioSpec`.  A bare name is
+            materialised at the registry's default baseline
+            (``start_level=2.5``); for another baseline pass the spec,
+            e.g. ``repro.SCENARIOS.create("ssp-high", start_level=3.0)``.
         rng:
             Random generator.
         include_nugget:
@@ -268,7 +288,7 @@ class ClimateEmulator:
         self,
         n_realizations: int = 1,
         n_times: int | None = None,
-        annual_forcing: np.ndarray | None = None,
+        annual_forcing: "np.ndarray | str | ScenarioSpec | None" = None,
         rng: np.random.Generator | None = None,
         include_nugget: bool = True,
         chunk_size: int | None = None,

@@ -13,8 +13,9 @@ known ground truth — something the real ERA5 would not permit.
 
 Modules
 -------
-* :mod:`repro.data.forcing` — radiative-forcing trajectories (historical
-  reconstruction and idealised scenarios).
+* :mod:`repro.data.forcing` — radiative-forcing trajectories, a thin
+  layer over the :data:`repro.scenarios.SCENARIOS` registry (historical
+  reconstruction, idealised curves, SSP-like pathways).
 * :mod:`repro.data.landsea` — a smooth synthetic land/sea mask used to
   induce longitudinal (anisotropic) structure.
 * :mod:`repro.data.era5_like` — the gridded temperature-field generator.
@@ -22,7 +23,12 @@ Modules
   emulator (data plus coordinates plus forcing).
 """
 
-from repro.data.forcing import ForcingScenario, historical_forcing, scenario_forcing
+from repro.data.forcing import (
+    ForcingScenario,
+    expand_to_resolution,
+    historical_forcing,
+    scenario_forcing,
+)
 from repro.data.landsea import land_fraction
 from repro.data.era5_like import Era5LikeConfig, Era5LikeGenerator
 from repro.data.ensemble import ClimateEnsemble
@@ -32,6 +38,7 @@ __all__ = [
     "Era5LikeConfig",
     "Era5LikeGenerator",
     "ForcingScenario",
+    "expand_to_resolution",
     "historical_forcing",
     "land_fraction",
     "scenario_forcing",

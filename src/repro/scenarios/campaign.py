@@ -1,0 +1,428 @@
+"""Parallel ensemble-campaign runner: fit once, replay across many futures.
+
+The storage story of the paper only pays off when one fitted emulator is
+replayed across many forcing pathways and realisations.  This module turns
+that replay into a single sharded job: :func:`run_campaign` takes a fitted
+emulator (or a saved artifact path) plus ``scenarios x realizations``, and
+
+* assigns every run an independent, reproducible random stream via
+  ``np.random.SeedSequence.spawn`` — run ``i`` always gets the child with
+  ``spawn_key == (i,)``, so a campaign is bit-identical no matter how many
+  workers execute it or in which order they finish;
+* shards the runs across ``concurrent.futures`` workers (threads by
+  default — generation is read-only on the fitted state — or processes);
+* drives :meth:`ClimateEmulator.emulate_stream
+  <repro.core.emulator.ClimateEmulator.emulate_stream>` so peak memory
+  stays at one chunk per worker regardless of scenario length, optionally
+  writing each chunk straight to disk;
+* emits a :class:`CampaignManifest` recording, per run, the scenario, the
+  seed spawn key, the chunk layout and the measured output bytes — the
+  numbers :func:`repro.storage.accounting.campaign_storage_report` turns
+  into the artifact-to-output "boost factor".
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+
+import numpy as np
+
+from repro.api.facade import _resolve as _resolve_emulator
+from repro.scenarios.registry import resolve_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "CampaignManifest",
+    "CampaignRunPlan",
+    "CampaignRunRecord",
+    "plan_campaign",
+    "run_campaign",
+]
+
+_COLLECT_MODES = ("global-mean", "fields", "none")
+
+
+def _slug(name: str) -> str:
+    """File-name-safe spelling of a scenario name."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", str(name)).strip("-") or "scenario"
+
+
+@dataclass(frozen=True)
+class CampaignRunPlan:
+    """Everything one worker needs to execute one campaign run."""
+
+    index: int
+    scenario: str
+    realization: int
+    seed: np.random.SeedSequence
+    forcing: np.ndarray
+    n_times: int
+    chunk_size: int
+    include_nugget: bool
+    collect: str
+    output_dir: str | None
+
+    @property
+    def spawn_key(self) -> tuple[int, ...]:
+        """The run's ``SeedSequence`` spawn key (recorded in the manifest)."""
+        return tuple(int(k) for k in self.seed.spawn_key)
+
+
+@dataclass
+class CampaignRunRecord:
+    """Outcome of one campaign run, as recorded in the manifest."""
+
+    index: int
+    scenario: str
+    realization: int
+    spawn_key: tuple[int, ...]
+    n_times: int
+    chunk_sizes: list[int]
+    output_bytes: int
+    output_files: list[str] = field(default_factory=list)
+    collected: np.ndarray | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-able summary (the ``collected`` array stays on the object)."""
+        return {
+            "index": int(self.index),
+            "scenario": str(self.scenario),
+            "realization": int(self.realization),
+            "spawn_key": list(self.spawn_key),
+            "n_times": int(self.n_times),
+            "chunk_sizes": [int(c) for c in self.chunk_sizes],
+            "output_bytes": int(self.output_bytes),
+            "output_files": [str(f) for f in self.output_files],
+        }
+
+
+@dataclass
+class CampaignManifest:
+    """The record of a campaign: settings plus one entry per run."""
+
+    seed: int
+    n_times: int
+    steps_per_year: int
+    chunk_size: int
+    collect: str
+    max_workers: int
+    executor: str
+    artifact_bytes: int
+    runs: list[CampaignRunRecord] = field(default_factory=list)
+
+    @property
+    def n_runs(self) -> int:
+        """Number of executed runs (scenarios x realizations)."""
+        return len(self.runs)
+
+    @property
+    def scenario_names(self) -> list[str]:
+        """Distinct scenario names, in campaign order."""
+        return list(dict.fromkeys(run.scenario for run in self.runs))
+
+    @property
+    def total_output_bytes(self) -> int:
+        """Measured bytes of emulated output across every run."""
+        return sum(run.output_bytes for run in self.runs)
+
+    def run(self, scenario: str, realization: int) -> CampaignRunRecord:
+        """The record for one (scenario, realization) pair."""
+        for record in self.runs:
+            if record.scenario == scenario and record.realization == realization:
+                return record
+        raise KeyError(f"no run for scenario {scenario!r}, realization {realization}")
+
+    def collected(self) -> dict[tuple[str, int], np.ndarray]:
+        """Mapping ``(scenario, realization) -> collected array``."""
+        return {
+            (record.scenario, record.realization): record.collected
+            for record in self.runs
+            if record.collected is not None
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-able manifest."""
+        return {
+            "schema": 1,
+            "seed": int(self.seed),
+            "n_times": int(self.n_times),
+            "steps_per_year": int(self.steps_per_year),
+            "chunk_size": int(self.chunk_size),
+            "collect": str(self.collect),
+            "max_workers": int(self.max_workers),
+            "executor": str(self.executor),
+            "artifact_bytes": int(self.artifact_bytes),
+            "n_runs": self.n_runs,
+            "total_output_bytes": int(self.total_output_bytes),
+            "scenarios": self.scenario_names,
+            "runs": [record.to_dict() for record in self.runs],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The manifest as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: "str | os.PathLike") -> str:
+        """Write the manifest JSON to ``path``; returns the path."""
+        path = os.fspath(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+        return path
+
+
+def plan_campaign(
+    scenarios,
+    n_realizations: int,
+    *,
+    n_times: int,
+    steps_per_year: int,
+    chunk_size: int,
+    seed: int = 0,
+    include_nugget: bool = True,
+    collect: str = "global-mean",
+    output_dir: "str | os.PathLike | None" = None,
+    start_level: float = 2.5,
+) -> list[CampaignRunPlan]:
+    """Expand ``scenarios x realizations`` into per-run execution plans.
+
+    Runs are ordered scenario-major, and run ``i`` is pinned to the
+    ``SeedSequence`` child with ``spawn_key == (i,)`` — the property that
+    makes sharded execution bit-identical to serial execution.
+    """
+    specs = [resolve_scenario(s, start_level=start_level) for s in scenarios]
+    if not specs:
+        raise ValueError("a campaign needs at least one scenario")
+    names = [spec.name for spec in specs]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        # Manifest lookups are keyed by (scenario, realization); duplicate
+        # names would make runs unreachable, so reject them up front.
+        raise ValueError(
+            f"duplicate scenario names in campaign: {duplicates}; "
+            f"rename one spec (ScenarioSpec.rename) to keep runs addressable"
+        )
+    if n_realizations < 1:
+        raise ValueError("n_realizations must be positive")
+    if collect not in _COLLECT_MODES:
+        raise ValueError(f"collect must be one of {_COLLECT_MODES}, got {collect!r}")
+    n_years = -(-int(n_times) // int(steps_per_year))
+    children = np.random.SeedSequence(seed).spawn(len(specs) * n_realizations)
+    out_dir = None if output_dir is None else os.fspath(output_dir)
+    plans: list[CampaignRunPlan] = []
+    for spec in specs:
+        forcing = spec.annual_forcing(n_years)
+        for realization in range(n_realizations):
+            index = len(plans)
+            plans.append(CampaignRunPlan(
+                index=index,
+                scenario=spec.name,
+                realization=realization,
+                seed=children[index],
+                forcing=forcing,
+                n_times=int(n_times),
+                chunk_size=int(chunk_size),
+                include_nugget=include_nugget,
+                collect=collect,
+                output_dir=out_dir,
+            ))
+    return plans
+
+
+def _execute_run(emulator, plan: CampaignRunPlan) -> CampaignRunRecord:
+    """Stream one run chunk by chunk and record its outcome."""
+    rng = np.random.default_rng(plan.seed)
+    chunk_sizes: list[int] = []
+    output_files: list[str] = []
+    collected_parts: list[np.ndarray] = []
+    output_bytes = 0
+    stream = emulator.emulate_stream(
+        n_realizations=1,
+        n_times=plan.n_times,
+        annual_forcing=plan.forcing,
+        rng=rng,
+        include_nugget=plan.include_nugget,
+        chunk_size=plan.chunk_size,
+    )
+    for j, chunk in enumerate(stream):
+        chunk_sizes.append(chunk.n_times)
+        output_bytes += chunk.storage_bytes(np.float32)
+        if plan.collect == "global-mean":
+            collected_parts.append(chunk.global_mean_series()[0])
+        elif plan.collect == "fields":
+            collected_parts.append(chunk.data[0])
+        if plan.output_dir is not None:
+            name = (
+                f"run{plan.index:03d}_{_slug(plan.scenario)}"
+                f"_r{plan.realization}_chunk{j:04d}.npz"
+            )
+            path = os.path.join(plan.output_dir, name)
+            np.savez(
+                path,
+                data=chunk.data.astype(np.float32),
+                t_start=chunk.metadata.get("stream_offset", 0),
+                scenario=plan.scenario,
+                realization=plan.realization,
+            )
+            output_files.append(path)
+    collected = np.concatenate(collected_parts, axis=0) if collected_parts else None
+    return CampaignRunRecord(
+        index=plan.index,
+        scenario=plan.scenario,
+        realization=plan.realization,
+        spawn_key=plan.spawn_key,
+        n_times=plan.n_times,
+        chunk_sizes=chunk_sizes,
+        output_bytes=output_bytes,
+        output_files=output_files,
+        collected=collected,
+    )
+
+
+# Per-worker-process cache: each ProcessPoolExecutor worker loads the
+# artifact once and replays every run assigned to it from the same
+# emulator.  Workers die with the pool, so entries never go stale.
+_WORKER_EMULATORS: dict[str, object] = {}
+
+
+def _execute_run_in_process(plan: CampaignRunPlan, source) -> CampaignRunRecord:
+    """Process-pool entry point: resolve the emulator once per worker."""
+    key = os.fspath(source)
+    emulator = _WORKER_EMULATORS.get(key)
+    if emulator is None:
+        emulator = _WORKER_EMULATORS[key] = _resolve_emulator(source)
+    return _execute_run(emulator, plan)
+
+
+def run_campaign(
+    source,
+    scenarios,
+    n_realizations: int = 1,
+    *,
+    n_times: int | None = None,
+    chunk_size: int | None = None,
+    seed: int = 0,
+    max_workers: int | None = None,
+    executor: str = "thread",
+    include_nugget: bool = True,
+    collect: str = "global-mean",
+    output_dir: "str | os.PathLike | None" = None,
+    start_level: float = 2.5,
+) -> CampaignManifest:
+    """Replay a fitted emulator across ``scenarios x realizations`` runs.
+
+    Parameters
+    ----------
+    source:
+        A fitted :class:`~repro.core.emulator.ClimateEmulator` or the path
+        of a saved artifact.
+    scenarios:
+        Iterable of registered scenario names (or
+        :class:`~repro.scenarios.spec.ScenarioSpec` objects).
+    n_realizations:
+        Realisations generated per scenario.
+    n_times:
+        Steps per run (training length by default).
+    chunk_size:
+        Streaming chunk length (one model year by default).
+    seed:
+        Root entropy; run ``i`` draws from the ``SeedSequence`` child with
+        ``spawn_key == (i,)``, so results do not depend on ``max_workers``.
+    max_workers:
+        Worker count; ``None`` or 1 runs serially.
+    executor:
+        ``"thread"`` (default; generation is read-only on the fitted
+        state) or ``"process"`` (each worker process loads the artifact
+        once; an in-memory emulator source is spilled to a temporary
+        artifact for the pool's lifetime).
+    include_nugget:
+        Include the truncation nugget in the emulations.
+    collect:
+        Per-run reduction kept on the manifest: ``"global-mean"`` (the
+        area-weighted series, default), ``"fields"`` (the full member —
+        unbounded memory, test-sized runs only) or ``"none"``.
+    output_dir:
+        When given, every chunk is written there as an NPZ file as it is
+        generated (bounded-memory streaming to disk).
+    start_level:
+        Baseline forcing handed to the scenario factories.
+
+    Returns
+    -------
+    CampaignManifest
+        Per-run scenario, seed spawn key, chunk layout, measured output
+        bytes and the collected reduction.
+    """
+    if executor not in ("thread", "process"):
+        raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
+    emulator = _resolve_emulator(source)
+    if emulator.training_summary is None or not emulator.is_fitted:
+        raise RuntimeError("run_campaign needs a fitted emulator")
+    summary = emulator.training_summary
+    if n_times is None:
+        n_times = summary.n_times
+    n_times = int(n_times)
+    if n_times < 1:
+        raise ValueError(f"n_times must be >= 1, got {n_times}")
+    chunk_size = int(chunk_size) if chunk_size is not None else summary.steps_per_year
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    workers = 1 if max_workers is None else int(max_workers)
+    if workers < 1:
+        raise ValueError("max_workers must be positive")
+    if output_dir is not None:
+        os.makedirs(os.fspath(output_dir), exist_ok=True)
+
+    plans = plan_campaign(
+        scenarios, n_realizations,
+        n_times=n_times, steps_per_year=summary.steps_per_year,
+        chunk_size=chunk_size, seed=seed, include_nugget=include_nugget,
+        collect=collect, output_dir=output_dir, start_level=start_level,
+    )
+
+    # The measured artifact size: for a path source the on-disk file is the
+    # measurement; only an in-memory emulator needs an (emulator-cached)
+    # serialisation pass.
+    if isinstance(source, (str, os.PathLike)):
+        artifact_bytes = os.path.getsize(os.fspath(source))
+    else:
+        artifact_bytes = emulator.measured_artifact_bytes()
+
+    if workers == 1:
+        records = [_execute_run(emulator, plan) for plan in plans]
+    elif executor == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            records = list(pool.map(partial(_execute_run, emulator), plans))
+    else:
+        with contextlib.ExitStack() as stack:
+            worker_source = source
+            if not isinstance(source, (str, os.PathLike)):
+                # Worker processes need a picklable source; an in-memory
+                # emulator is spilled to a temporary artifact for the
+                # lifetime of the pool.
+                tmp_dir = stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="repro-campaign-")
+                )
+                worker_source = emulator.save(os.path.join(tmp_dir, "emulator.npz"))
+            pool = stack.enter_context(ProcessPoolExecutor(max_workers=workers))
+            records = list(pool.map(
+                partial(_execute_run_in_process, source=worker_source), plans
+            ))
+
+    return CampaignManifest(
+        seed=int(seed),
+        n_times=n_times,
+        steps_per_year=summary.steps_per_year,
+        chunk_size=chunk_size,
+        collect=collect,
+        max_workers=workers,
+        executor=executor,
+        artifact_bytes=artifact_bytes,
+        runs=records,
+    )

@@ -14,6 +14,7 @@ from repro.storage.accounting import (
     CMIP6_ARCHIVE,
     StorageScenario,
     archive_bytes,
+    campaign_storage_report,
     emulator_parameter_bytes,
     format_bytes,
     measured_artifact_report,
@@ -24,6 +25,7 @@ __all__ = [
     "CMIP6_ARCHIVE",
     "StorageScenario",
     "archive_bytes",
+    "campaign_storage_report",
     "emulator_parameter_bytes",
     "format_bytes",
     "measured_artifact_report",

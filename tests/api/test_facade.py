@@ -131,6 +131,60 @@ class TestEmulateStream:
         assert abs(streamed.mean() - full.data.mean()) < 1.0
         assert abs(streamed.std() / full.data.std() - 1.0) < 0.2
 
+    def test_single_chunk_with_custom_forcing_matches_emulate_bit_exactly(
+            self, fitted_emulator):
+        """The bit-exact single-chunk guarantee must hold off the training forcing."""
+        spy = fitted_emulator.training_summary.steps_per_year
+        n_times = 4 * spy
+        forcing = np.array([1.0, 6.0, 2.0, 9.0])
+        full = fitted_emulator.emulate(2, n_times=n_times, annual_forcing=forcing,
+                                       rng=np.random.default_rng(17))
+        chunks = list(fitted_emulator.emulate_stream(
+            2, n_times=n_times, annual_forcing=forcing,
+            rng=np.random.default_rng(17), chunk_size=n_times,
+        ))
+        assert len(chunks) == 1
+        assert np.array_equal(chunks[0].data, full.data)
+
+    def test_stream_forcing_indexed_by_absolute_time_across_chunks(
+            self, fitted_emulator):
+        """Chunks crossing year boundaries must see the monolithic trend.
+
+        The stochastic draws are chunk-local, so the reference is built
+        from the *monolithic* trend prediction (absolute time) plus the
+        same chunk-local standardized stream — bit-exact equality proves
+        the streamed mean indexes the forcing by absolute step, not by
+        per-chunk time.
+        """
+        spy = fitted_emulator.training_summary.steps_per_year
+        n_years = 5
+        n_times = n_years * spy
+        # Strong year-to-year jumps make any per-chunk re-indexing visible;
+        # chunk_size=9 does not divide steps_per_year=24, so chunks
+        # straddle year boundaries.
+        forcing = np.array([1.0, 8.0, 2.0, 9.0, 3.0])
+        chunk_size = 9
+        assert spy % chunk_size != 0
+
+        mean_full = fitted_emulator.trend_model.predict(
+            n_times, forcing, fitted_emulator.trend_fit
+        )
+        chunks = list(fitted_emulator.emulate_stream(
+            1, n_times=n_times, annual_forcing=forcing,
+            rng=np.random.default_rng(33), chunk_size=chunk_size,
+        ))
+        z_stream = fitted_emulator.spectral_model.generate_standardized_stream(
+            np.random.default_rng(33), 1, n_times, chunk_size, include_nugget=True,
+        )
+        assert sum(c.n_times for c in chunks) == n_times
+        for chunk, (t_start, z) in zip(chunks, z_stream):
+            assert chunk.metadata["stream_offset"] == t_start
+            reference = (
+                mean_full[t_start:t_start + chunk.n_times][None, ...]
+                + fitted_emulator.scale.unstandardize(z)
+            )
+            assert np.array_equal(chunk.data, reference)
+
     def test_stream_bad_chunk_size(self, fitted_emulator):
         with pytest.raises(ValueError, match="chunk_size"):
             list(fitted_emulator.emulate_stream(1, chunk_size=0))
@@ -156,3 +210,54 @@ class TestEmulateStream:
         chunks = list(repro.emulate_stream(path, 1, n_times=10, chunk_size=4,
                                            rng=np.random.default_rng(1)))
         assert [c.n_times for c in chunks] == [4, 4, 2]
+
+
+class TestScenarioForcingArguments:
+    """emulate/emulate_stream accept scenario names and ScenarioSpec objects."""
+
+    def test_emulate_accepts_scenario_name(self, fitted_emulator):
+        from repro.data.forcing import scenario_forcing
+
+        spy = fitted_emulator.training_summary.steps_per_year
+        by_name = fitted_emulator.emulate(1, n_times=3 * spy,
+                                          annual_forcing="stabilisation",
+                                          rng=np.random.default_rng(8))
+        by_array = fitted_emulator.emulate(1, n_times=3 * spy,
+                                           annual_forcing=scenario_forcing("stabilisation", 3),
+                                           rng=np.random.default_rng(8))
+        assert np.array_equal(by_name.data, by_array.data)
+
+    def test_emulate_accepts_scenario_spec(self, fitted_emulator):
+        spec = repro.SCENARIOS.create("ssp-low", start_level=2.5)
+        assert isinstance(spec, repro.ScenarioSpec)
+        spy = fitted_emulator.training_summary.steps_per_year
+        by_spec = fitted_emulator.emulate(1, n_times=2 * spy, annual_forcing=spec,
+                                          rng=np.random.default_rng(8))
+        by_array = fitted_emulator.emulate(1, n_times=2 * spy,
+                                           annual_forcing=spec.annual_forcing(2),
+                                           rng=np.random.default_rng(8))
+        assert np.array_equal(by_spec.data, by_array.data)
+
+    def test_stream_accepts_scenario_name(self, fitted_emulator):
+        spy = fitted_emulator.training_summary.steps_per_year
+        chunks = list(fitted_emulator.emulate_stream(
+            1, n_times=2 * spy, annual_forcing="ssp-high",
+            rng=np.random.default_rng(8),
+        ))
+        assert sum(c.n_times for c in chunks) == 2 * spy
+
+    def test_unknown_scenario_name_raises_with_catalogue(self, fitted_emulator):
+        with pytest.raises(ValueError, match="available"):
+            fitted_emulator.emulate(1, annual_forcing="not-a-scenario")
+
+    def test_facade_passes_scenario_through(self, fitted_emulator, tmp_path):
+        path = tmp_path / "emulator.npz"
+        repro.save(fitted_emulator, path)
+        spy = fitted_emulator.training_summary.steps_per_year
+        from_disk = repro.emulate(str(path), 1, n_times=spy,
+                                  annual_forcing="overshoot",
+                                  rng=np.random.default_rng(4))
+        from_memory = repro.emulate(fitted_emulator, 1, n_times=spy,
+                                    annual_forcing="overshoot",
+                                    rng=np.random.default_rng(4))
+        assert np.array_equal(from_disk.data, from_memory.data)

@@ -37,11 +37,37 @@ class TestForcing:
         stab = scenario_forcing("stabilisation", 80)
         assert high[-1] > stab[-1]
 
+    def test_unknown_scenario_error_lists_available(self):
+        """An unknown name must name the alternatives, not just reject."""
+        with pytest.raises(ValueError) as excinfo:
+            scenario_forcing("rcp-bogus", 10)
+        message = str(excinfo.value)
+        for name in ("historical", "stabilisation", "ssp-low", "ssp-high"):
+            assert name in message
+
+    def test_scenario_forcing_accepts_registered_ssp_names(self):
+        for name in ("ssp-low", "ssp-medium", "ssp-high", "overshoot"):
+            rf = scenario_forcing(name, 60)
+            assert rf.shape == (60,)
+            assert np.all(np.isfinite(rf))
+
     def test_expand_to_resolution(self):
         annual = np.array([1.0, 2.0, 3.0])
         per_step = expand_to_resolution(annual, 12)
         assert per_step.shape == (36,)
         assert np.all(per_step[:12] == 1.0) and np.all(per_step[-12:] == 3.0)
+
+    def test_expand_to_resolution_rejects_scalar(self):
+        with pytest.raises(ValueError, match="1-D"):
+            expand_to_resolution(np.float64(2.5), 12)
+
+    def test_expand_to_resolution_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            expand_to_resolution(np.ones((3, 2)), 12)
+
+    def test_expand_to_resolution_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            expand_to_resolution(np.array([]), 12)
 
     def test_invalid_arguments(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,222 @@
+"""Tests of the sharded ensemble-campaign runner and its manifest."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.scenarios.campaign import plan_campaign, run_campaign
+from repro.storage.accounting import campaign_storage_report
+
+SCENARIO_NAMES = ["ssp-low", "ssp-medium", "ssp-high"]
+
+
+@pytest.fixture(scope="module")
+def serial_manifest(fitted_emulator):
+    """A 3-scenario x 2-realization campaign executed serially."""
+    return run_campaign(
+        fitted_emulator, SCENARIO_NAMES, 2, n_times=48, chunk_size=24,
+        seed=2024, collect="fields",
+    )
+
+
+class TestPlanning:
+    def test_runs_are_scenario_major_with_spawned_seeds(self, serial_manifest):
+        runs = serial_manifest.runs
+        assert [r.scenario for r in runs] == [
+            "ssp-low", "ssp-low", "ssp-medium", "ssp-medium", "ssp-high", "ssp-high",
+        ]
+        assert [r.realization for r in runs] == [0, 1, 0, 1, 0, 1]
+        # Run i is pinned to the SeedSequence child with spawn_key (i,).
+        assert [r.spawn_key for r in runs] == [(i,) for i in range(6)]
+
+    def test_plan_campaign_validation(self):
+        with pytest.raises(ValueError, match="at least one scenario"):
+            plan_campaign([], 1, n_times=10, steps_per_year=5, chunk_size=5)
+        with pytest.raises(ValueError, match="n_realizations"):
+            plan_campaign(["constant"], 0, n_times=10, steps_per_year=5, chunk_size=5)
+        with pytest.raises(ValueError, match="collect"):
+            plan_campaign(["constant"], 1, n_times=10, steps_per_year=5, chunk_size=5,
+                          collect="everything")
+        with pytest.raises(ValueError, match="duplicate"):
+            plan_campaign(["constant", "ssp-low", "constant"], 1, n_times=10,
+                          steps_per_year=5, chunk_size=5)
+
+    def test_run_campaign_validation(self, fitted_emulator):
+        with pytest.raises(ValueError, match="executor"):
+            run_campaign(fitted_emulator, ["constant"], executor="carrier-pigeon")
+        with pytest.raises(ValueError, match="n_times"):
+            run_campaign(fitted_emulator, ["constant"], n_times=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            run_campaign(fitted_emulator, ["constant"], max_workers=0)
+        with pytest.raises(RuntimeError, match="fitted"):
+            run_campaign(repro.ClimateEmulator(), ["constant"])
+
+
+class TestDeterminism:
+    def test_sharded_threads_bit_identical_to_serial(self, fitted_emulator,
+                                                     serial_manifest):
+        sharded = run_campaign(
+            fitted_emulator, SCENARIO_NAMES, 2, n_times=48, chunk_size=24,
+            seed=2024, collect="fields", max_workers=4,
+        )
+        assert sharded.n_runs == serial_manifest.n_runs == 6
+        for serial_run, sharded_run in zip(serial_manifest.runs, sharded.runs):
+            assert serial_run.to_dict() == sharded_run.to_dict()
+            assert np.array_equal(serial_run.collected, sharded_run.collected)
+
+    def test_runs_reproducible_and_seed_sensitive(self, fitted_emulator,
+                                                  serial_manifest):
+        again = run_campaign(fitted_emulator, SCENARIO_NAMES, 2, n_times=48,
+                             chunk_size=24, seed=2024, collect="fields")
+        other = run_campaign(fitted_emulator, SCENARIO_NAMES, 2, n_times=48,
+                             chunk_size=24, seed=99, collect="fields")
+        for a, b, c in zip(serial_manifest.runs, again.runs, other.runs):
+            assert np.array_equal(a.collected, b.collected)
+            assert not np.array_equal(a.collected, c.collected)
+
+    def test_realizations_are_independent_streams(self, serial_manifest):
+        r0 = serial_manifest.run("ssp-low", 0).collected
+        r1 = serial_manifest.run("ssp-low", 1).collected
+        assert not np.array_equal(r0, r1)
+
+    def test_run_matches_direct_emulate_stream(self, fitted_emulator,
+                                               serial_manifest):
+        """A campaign run is exactly emulate_stream under the spawned seed."""
+        from repro.data.forcing import scenario_forcing
+
+        record = serial_manifest.run("ssp-medium", 1)
+        forcing = scenario_forcing("ssp-medium", 2)
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=2024, spawn_key=record.spawn_key)
+        )
+        chunks = fitted_emulator.emulate_stream(
+            1, n_times=48, annual_forcing=forcing, rng=rng, chunk_size=24,
+        )
+        direct = np.concatenate([chunk.data[0] for chunk in chunks], axis=0)
+        assert np.array_equal(record.collected, direct)
+
+    def test_artifact_path_source_matches_in_memory(self, fitted_emulator,
+                                                    serial_manifest, tmp_path):
+        path = repro.save(fitted_emulator, tmp_path / "emulator.npz")
+        from_disk = run_campaign(path, SCENARIO_NAMES, 2, n_times=48,
+                                 chunk_size=24, seed=2024, collect="fields")
+        for a, b in zip(serial_manifest.runs, from_disk.runs):
+            assert np.array_equal(a.collected, b.collected)
+
+    def test_process_executor_bit_identical(self, fitted_emulator, serial_manifest,
+                                            tmp_path):
+        path = repro.save(fitted_emulator, tmp_path / "emulator.npz")
+        sharded = run_campaign(path, SCENARIO_NAMES, 2, n_times=48, chunk_size=24,
+                               seed=2024, collect="fields", max_workers=2,
+                               executor="process")
+        for a, b in zip(serial_manifest.runs, sharded.runs):
+            assert np.array_equal(a.collected, b.collected)
+
+    def test_process_executor_accepts_in_memory_emulator(self, fitted_emulator,
+                                                         serial_manifest):
+        """An emulator source is spilled to a temp artifact for the pool."""
+        sharded = run_campaign(fitted_emulator, SCENARIO_NAMES, 2, n_times=48,
+                               chunk_size=24, seed=2024, collect="fields",
+                               max_workers=2, executor="process")
+        for a, b in zip(serial_manifest.runs, sharded.runs):
+            assert np.array_equal(a.collected, b.collected)
+
+
+class TestManifest:
+    def test_chunk_layout_covers_every_run(self, serial_manifest):
+        for record in serial_manifest.runs:
+            assert sum(record.chunk_sizes) == record.n_times == 48
+            assert record.chunk_sizes == [24, 24]
+
+    def test_output_bytes_measured(self, serial_manifest, fitted_emulator):
+        grid = fitted_emulator.training_summary.grid
+        per_run = 48 * grid.npoints * 4  # float32
+        assert all(r.output_bytes == per_run for r in serial_manifest.runs)
+        assert serial_manifest.total_output_bytes == 6 * per_run
+        assert serial_manifest.artifact_bytes == fitted_emulator.measured_artifact_bytes()
+
+    def test_manifest_json_round_trip(self, serial_manifest, tmp_path):
+        path = serial_manifest.save(tmp_path / "manifest.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded["schema"] == 1
+        assert loaded["n_runs"] == 6
+        assert loaded["seed"] == 2024
+        assert loaded["scenarios"] == SCENARIO_NAMES
+        assert loaded["total_output_bytes"] == serial_manifest.total_output_bytes
+        assert [r["spawn_key"] for r in loaded["runs"]] == [[i] for i in range(6)]
+
+    def test_run_lookup(self, serial_manifest):
+        record = serial_manifest.run("ssp-high", 1)
+        assert record.scenario == "ssp-high" and record.realization == 1
+        with pytest.raises(KeyError):
+            serial_manifest.run("ssp-high", 7)
+        assert set(serial_manifest.collected()) == {
+            (name, r) for name in SCENARIO_NAMES for r in (0, 1)
+        }
+
+    def test_collect_global_mean_series(self, fitted_emulator):
+        manifest = run_campaign(fitted_emulator, ["constant"], 1, n_times=48,
+                                chunk_size=24, seed=5)
+        record = manifest.runs[0]
+        assert record.collected.shape == (48,)
+        # Area-weighted global means of temperature fields are O(280 K).
+        assert 200.0 < record.collected.mean() < 330.0
+
+    def test_collect_none_keeps_manifest_light(self, fitted_emulator):
+        manifest = run_campaign(fitted_emulator, ["constant"], 1, n_times=24,
+                                collect="none", seed=5)
+        assert manifest.runs[0].collected is None
+        assert manifest.runs[0].output_bytes > 0
+
+
+class TestOutputDir:
+    def test_chunks_streamed_to_disk(self, fitted_emulator, tmp_path):
+        out_dir = tmp_path / "campaign-out"
+        manifest = run_campaign(
+            fitted_emulator, ["ssp-low", "overshoot"], 1, n_times=48,
+            chunk_size=24, seed=11, collect="none", output_dir=out_dir,
+        )
+        for record in manifest.runs:
+            assert len(record.output_files) == len(record.chunk_sizes) == 2
+            for path, expected_steps in zip(record.output_files, record.chunk_sizes):
+                assert os.path.getsize(path) > 0
+                with np.load(path) as payload:
+                    assert payload["data"].shape[1] == expected_steps
+                    assert payload["data"].dtype == np.float32
+                    assert str(payload["scenario"]) == record.scenario
+        offsets = [int(np.load(f)["t_start"]) for f in manifest.runs[0].output_files]
+        assert offsets == [0, 24]
+
+
+class TestStorageReport:
+    def test_boost_factor(self, serial_manifest):
+        report = campaign_storage_report(serial_manifest)
+        assert report["n_runs"] == 6
+        assert report["n_scenarios"] == 3
+        assert report["artifact_bytes"] == serial_manifest.artifact_bytes
+        assert report["campaign_output_bytes"] == serial_manifest.total_output_bytes
+        assert report["boost_factor"] == pytest.approx(
+            serial_manifest.total_output_bytes / serial_manifest.artifact_bytes
+        )
+        # Accepts the JSON form of the manifest too.
+        assert campaign_storage_report(serial_manifest.to_dict()) == report
+
+
+class TestFacade:
+    def test_exported_from_repro(self):
+        assert repro.run_campaign is run_campaign
+        for name in ("CampaignManifest", "ScenarioSpec", "SCENARIOS",
+                     "list_scenarios", "register_scenario"):
+            assert hasattr(repro, name), name
+
+    def test_lazy_subpackage_exports(self):
+        import repro.scenarios as scenarios
+
+        assert scenarios.run_campaign is run_campaign
+        assert scenarios.campaign.run_campaign is run_campaign
+        with pytest.raises(AttributeError):
+            scenarios.not_a_symbol
