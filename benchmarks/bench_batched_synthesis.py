@@ -1,0 +1,195 @@
+"""E12 — batched + plan-cached synthesis vs the per-run serial path.
+
+The inverse-SHT synthesis loop is the hot path the emulator exists to make
+cheap: one fitted artifact is replayed into arbitrarily many realizations,
+and every realization pays ``O(L^3)`` synthesis per time slice.  This
+benchmark measures what this PR's tentpole bought at ``lmax = 48``:
+
+* **per-run serial (seed path)** — what the campaign runner used to do per
+  run: build the transform plan in the worker (no cache) and synthesise
+  each realization's coefficient stream through the literal per-degree
+  Eq. (7) accumulation (kept as
+  :meth:`SHTPlan.wigner_contraction_inverse_reference`);
+* **batched + cached** — one :func:`repro.sht.plancache.get_plan` lookup
+  (warm after the first build) and a single stacked
+  :meth:`SHTPlan.inverse` call over all runs, which flattens the batch
+  into per-order GEMMs and cache-blocked FFT passes.
+
+The two paths must agree: every run draws its coefficients from its own
+``SeedSequence``-spawned generator, and the batched output is asserted
+bit-identical to synthesising each run's stream alone.  A second section
+replays a real campaign (``run_campaign`` with and without ``batch_size``)
+and checks bit-identical manifests.  A JSON summary line is printed so the
+run log doubles as a machine-readable record.
+
+Run as a script: ``PYTHONPATH=src python benchmarks/bench_batched_synthesis.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.sht.grid import Grid
+from repro.sht.plancache import clear_plan_cache, get_plan, plan_cache_stats
+from repro.sht.transform import SHTPlan
+
+LMAX = 48                 # acceptance criterion: >= 2x speedup at lmax >= 48
+N_RUNS = 16               # realizations synthesised per round
+N_TIMES = 24              # one model year of the benchmark calendar
+SEED = 2024
+TARGET_SPEEDUP = 2.0
+
+
+def _check_speedup(speedup: float) -> None:
+    """Enforce the speedup target, unless soft mode is requested.
+
+    Correctness (bit-exactness) is always asserted; the wall-clock ratio
+    is inherently noisy on shared CI runners, so setting
+    ``REPRO_BENCH_SOFT=1`` downgrades a miss to a loud warning while
+    local/dedicated runs keep the hard gate.
+    """
+    if speedup >= TARGET_SPEEDUP:
+        return
+    message = (
+        f"batched+cached synthesis only {speedup:.2f}x faster than the "
+        f"per-run serial path (target {TARGET_SPEEDUP}x)"
+    )
+    if os.environ.get("REPRO_BENCH_SOFT"):
+        print(f"WARNING: {message} [REPRO_BENCH_SOFT set; not failing]")
+        return
+    raise AssertionError(message)
+
+
+def _run_coefficients(lmax: int) -> np.ndarray:
+    """Stacked per-run coefficient streams, one SeedSequence child per run."""
+    k = lmax * lmax
+    seeds = np.random.SeedSequence(SEED).spawn(N_RUNS)
+    runs = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        runs.append(
+            rng.standard_normal((N_TIMES, k)) + 1j * rng.standard_normal((N_TIMES, k))
+        )
+    return np.stack(runs)
+
+
+def _serial_reference_seconds(grid: Grid, coeffs: np.ndarray) -> tuple[float, np.ndarray]:
+    """The seed path: per-worker plan build + per-run reference synthesis."""
+    t0 = time.perf_counter()
+    plan = SHTPlan(lmax=LMAX, grid=grid)  # built in-worker, uncached
+    fields = []
+    for run in coeffs:
+        c = plan.wigner_contraction_inverse_reference(run)
+        fields.append(plan.synthesis_from_fourier(c))
+    return time.perf_counter() - t0, np.stack(fields)
+
+
+def _batched_cached_seconds(grid: Grid, coeffs: np.ndarray) -> tuple[float, np.ndarray]:
+    """The new path: warm plan-cache lookup + one stacked inverse."""
+    t0 = time.perf_counter()
+    plan = get_plan("fast", LMAX, grid)
+    fields = plan.inverse(coeffs)
+    return time.perf_counter() - t0, fields
+
+
+def run_benchmark() -> dict:
+    """Execute both paths, verify bit-exactness and return the summary."""
+    grid = Grid.for_bandlimit(LMAX)
+    coeffs = _run_coefficients(LMAX)
+
+    clear_plan_cache()
+    t_warm0 = time.perf_counter()
+    plan = get_plan("fast", LMAX, grid)          # first build: the one cache miss
+    plan.inverse(coeffs[:2])                     # warm the synthesis operators
+    warmup_seconds = time.perf_counter() - t_warm0
+
+    t_serial, serial_fields = _serial_reference_seconds(grid, coeffs)
+    t_batched, batched_fields = _batched_cached_seconds(grid, coeffs)
+
+    # Correctness: the two contraction formulations agree to reassociation
+    # error, and the batched stack is bit-identical to per-run synthesis of
+    # the same seeded streams through the same (new) path.
+    max_diff = float(np.max(np.abs(serial_fields - batched_fields)))
+    assert max_diff < 1e-10, f"paths diverged: max |diff| = {max_diff}"
+    bit_identical = all(
+        np.array_equal(batched_fields[b], plan.inverse(coeffs[b]))
+        for b in range(N_RUNS)
+    )
+    assert bit_identical, "batched synthesis is not bit-identical to per-run"
+
+    speedup = t_serial / t_batched
+    stats = plan_cache_stats()
+    summary = {
+        "benchmark": "batched_synthesis",
+        "lmax": LMAX,
+        "n_runs": N_RUNS,
+        "n_times": N_TIMES,
+        "serial_reference_seconds": round(t_serial, 4),
+        "batched_cached_seconds": round(t_batched, 4),
+        "speedup": round(speedup, 2),
+        "warmup_seconds": round(warmup_seconds, 4),
+        "bit_identical": bit_identical,
+        "plan_cache": {"size": stats["size"], "hits": stats["hits"],
+                       "misses": stats["misses"]},
+    }
+    return summary
+
+
+def run_campaign_benchmark() -> dict:
+    """End-to-end check: a real campaign, per-run vs batched, bit-identical."""
+    import repro
+    from repro.data import Era5LikeConfig, Era5LikeGenerator
+
+    sims = Era5LikeGenerator(
+        Era5LikeConfig(lmax=16, n_years=3, steps_per_year=24, n_ensemble=2,
+                       forcing_growth=1.0),
+        seed=7,
+    ).generate()
+    emulator = repro.fit(sims, lmax=16, var_order=1, tile_size=32,
+                         n_harmonics=2, rho_grid=(0.3, 0.7))
+    scenarios = ["ssp-low", "ssp-medium", "ssp-high", "overshoot"]
+
+    t0 = time.perf_counter()
+    serial = repro.run_campaign(emulator, scenarios, 4, n_times=96, seed=SEED)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batched = repro.run_campaign(emulator, scenarios, 4, n_times=96, seed=SEED,
+                                 batch_size=4)
+    t_batched = time.perf_counter() - t0
+
+    identical = all(
+        a.to_dict() == b.to_dict() and np.array_equal(a.collected, b.collected)
+        for a, b in zip(serial.runs, batched.runs)
+    )
+    assert identical, "batched campaign is not bit-identical to per-run"
+    return {
+        "benchmark": "batched_campaign",
+        "n_runs": serial.n_runs,
+        "per_run_seconds": round(t_serial, 4),
+        "batched_seconds": round(t_batched, 4),
+        "speedup": round(t_serial / t_batched, 2),
+        "bit_identical": identical,
+    }
+
+
+def test_batched_synthesis_speedup():
+    """Pytest entry point mirroring the script run."""
+    summary = run_benchmark()
+    print(f"\nJSON summary: {json.dumps(summary, sort_keys=True)}")
+    assert summary["bit_identical"]
+    _check_speedup(summary["speedup"])
+    campaign = run_campaign_benchmark()
+    print(f"JSON summary: {json.dumps(campaign, sort_keys=True)}")
+    assert campaign["bit_identical"]
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    print(f"JSON summary: {json.dumps(result, sort_keys=True)}")
+    _check_speedup(result["speedup"])
+    campaign = run_campaign_benchmark()
+    print(f"JSON summary: {json.dumps(campaign, sort_keys=True)}")

@@ -9,7 +9,9 @@ Using Exascale Climate Emulators" (Abdulah et al., SC 2024):
   behind the named SHT and Cholesky-precision variants, and the
   :func:`fit` / :func:`save` / :func:`load` / :func:`emulate` /
   :func:`emulate_stream` facade re-exported here.
-* :mod:`repro.sht` — spherical harmonic transform substrate (Eqs. 3-8).
+* :mod:`repro.sht` — spherical harmonic transform substrate (Eqs. 3-8),
+  including the process-wide plan cache (:func:`get_plan`) and the
+  batched GEMM/FFT synthesis path behind emulation generation.
 * :mod:`repro.core` — the climate emulator itself: distributed-lag mean
   trend, spectral stochastic model with a diagonal VAR, innovation
   covariance and Cholesky factorisation, and emulation generation.
@@ -44,7 +46,7 @@ Quickstart
 ...     n_realizations=5, max_workers=4)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.core.config import EmulatorConfig
 from repro.core.emulator import ClimateEmulator
@@ -52,6 +54,7 @@ from repro.data.ensemble import ClimateEnsemble
 from repro.data.era5_like import Era5LikeConfig, Era5LikeGenerator
 from repro.linalg.policies import CHOLESKY_VARIANTS
 from repro.sht.backends import SHT_BACKENDS
+from repro.sht.plancache import clear_plan_cache, get_plan, plan_cache_stats
 from repro.api.registry import BackendRegistry, UnknownBackendError
 from repro.api.artifact import (
     SCHEMA_VERSION,
@@ -83,11 +86,14 @@ __all__ = [
     "SchemaVersionError",
     "UnknownBackendError",
     "__version__",
+    "clear_plan_cache",
     "emulate",
     "emulate_stream",
     "fit",
+    "get_plan",
     "list_scenarios",
     "load",
+    "plan_cache_stats",
     "register_scenario",
     "run_campaign",
     "save",

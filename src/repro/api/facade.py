@@ -43,12 +43,21 @@ def fit(
     Parameters
     ----------
     ensemble:
-        The training ensemble.
+        The training ensemble; ``ensemble.data`` has shape
+        ``(R, T, ntheta, nphi)`` and the grid must support the configured
+        band-limit (``ntheta >= lmax + 1``, ``nphi >= 2*lmax - 1``).
     config:
         Emulator configuration; defaults to ``EmulatorConfig()``.
     **overrides:
         Individual :class:`EmulatorConfig` fields overriding ``config``
         (e.g. ``fit(ensemble, lmax=16, precision_variant="DP/SP")``).
+
+    Returns
+    -------
+    ClimateEmulator
+        The fitted emulator.  Fitting is deterministic: the same ensemble
+        and configuration always produce bit-identical fitted state (no
+        hidden randomness anywhere in the pipeline).
     """
     if config is None:
         config = EmulatorConfig(**overrides)
@@ -58,12 +67,24 @@ def fit(
 
 
 def save(emulator: ClimateEmulator, path: "str | os.PathLike") -> str:
-    """Persist a fitted emulator as an NPZ artifact; returns the path."""
+    """Persist a fitted emulator as an NPZ artifact; returns the path.
+
+    All fitted arrays are stored at full ``float64`` precision, so a
+    :func:`load` round trip rebuilds a bit-exactly equivalent emulator.
+    """
     return emulator.save(path)
 
 
 def load(path: "str | os.PathLike") -> ClimateEmulator:
-    """Load a fitted emulator from an artifact written by :func:`save`."""
+    """Load a fitted emulator from an artifact written by :func:`save`.
+
+    The loaded emulator emulates without the raw training ensemble and is
+    bit-exactly equivalent to the emulator that was saved: under the same
+    seeded generator both produce identical output.  Loading reuses the
+    process-wide SHT plan cache (:func:`repro.sht.plancache.get_plan`),
+    so repeated loads of artifacts sharing ``(sht_method, lmax, grid)``
+    rebuild the transform tables only once per process.
+    """
     return EmulatorArtifact.load(path).to_emulator()
 
 
@@ -84,6 +105,7 @@ def emulate(
     annual_forcing: "np.ndarray | str | ScenarioSpec | None" = None,
     rng: np.random.Generator | None = None,
     include_nugget: bool = True,
+    batch_size: int | None = None,
 ) -> ClimateEnsemble:
     """Generate emulations from a fitted emulator or a saved artifact path.
 
@@ -94,6 +116,16 @@ def emulate(
     built with ``repro.SCENARIOS.create(name, start_level=...)`` for a
     different baseline.  See :meth:`ClimateEmulator.emulate` for the
     remaining parameters.
+
+    Returns
+    -------
+    ClimateEnsemble
+        ``data`` is ``float64`` of shape
+        ``(n_realizations, n_times, ntheta, nphi)``.  Output is a
+        deterministic function of the fitted state and ``rng``: the same
+        seeded generator reproduces it bit for bit, and ``batch_size``
+        (the cap on realizations per inverse-SHT pass) never changes a
+        bit — it only bounds the synthesis working set.
     """
     return _resolve(source).emulate(
         n_realizations=n_realizations,
@@ -101,6 +133,7 @@ def emulate(
         annual_forcing=annual_forcing,
         rng=rng,
         include_nugget=include_nugget,
+        batch_size=batch_size,
     )
 
 
@@ -112,12 +145,23 @@ def emulate_stream(
     rng: np.random.Generator | None = None,
     include_nugget: bool = True,
     chunk_size: int | None = None,
+    batch_size: int | None = None,
 ) -> Iterator[ClimateEnsemble]:
     """Stream emulation chunks from a fitted emulator or artifact path.
 
     ``annual_forcing`` accepts a raw annual array, a registered scenario
     name or a :class:`~repro.scenarios.spec.ScenarioSpec`.  See
     :meth:`ClimateEmulator.emulate_stream` for the remaining parameters.
+
+    Yields
+    ------
+    ClimateEnsemble
+        Consecutive chunks with ``float64`` ``data`` of shape
+        ``(n_realizations, <=chunk_size, ntheta, nphi)`` (one model year
+        per chunk by default), VAR state carried across chunks.  The
+        concatenated stream is a deterministic function of ``rng``:
+        with ``chunk_size >= n_times`` the single chunk is bit-exact with
+        :func:`emulate`, and ``batch_size`` never changes any output bit.
     """
     return _resolve(source).emulate_stream(
         n_realizations=n_realizations,
@@ -126,4 +170,5 @@ def emulate_stream(
         rng=rng,
         include_nugget=include_nugget,
         chunk_size=chunk_size,
+        batch_size=batch_size,
     )

@@ -61,6 +61,7 @@ class EmulationGenerator:
         rng: np.random.Generator | None = None,
         include_nugget: bool = True,
         start_year: int = 1940,
+        batch_size: int | None = None,
     ) -> ClimateEnsemble:
         """Produce an ensemble of emulated fields.
 
@@ -77,6 +78,10 @@ class EmulationGenerator:
             Random generator (a fresh default generator when omitted).
         include_nugget:
             Add the truncation nugget ``epsilon``.
+        batch_size:
+            Cap on realizations synthesised per inverse-SHT pass; the
+            output is bit-identical for every value (see
+            :meth:`generate_stream`).
 
         Returns
         -------
@@ -98,6 +103,7 @@ class EmulationGenerator:
             include_nugget=include_nugget,
             start_year=start_year,
             chunk_size=n_times,
+            batch_size=batch_size,
         )))
         return ClimateEnsemble(
             data=chunk.data,
@@ -117,6 +123,7 @@ class EmulationGenerator:
         include_nugget: bool = True,
         start_year: int = 1940,
         chunk_size: int | None = None,
+        batch_size: int | None = None,
     ) -> Iterator[ClimateEnsemble]:
         """Yield the emulation as a stream of time chunks.
 
@@ -134,6 +141,10 @@ class EmulationGenerator:
             As in :meth:`generate`.
         chunk_size:
             Time steps per yielded chunk (one model year when omitted).
+        batch_size:
+            Cap on realizations synthesised per inverse-SHT pass (all at
+            once when ``None``); random draws are made at full width in a
+            fixed order, so the stream is bit-identical for every value.
 
         Yields
         ------
@@ -165,24 +176,76 @@ class EmulationGenerator:
                 f"forcing covers {len(annual_forcing)} years but {n_times} "
                 f"steps require {needed_years}"
             )
-        return self._stream_chunks(
-            n_realizations, n_times, annual_forcing, rng, include_nugget,
-            start_year, chunk_size,
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        stream = self.spectral_model.generate_standardized_stream(
+            rng, n_realizations, n_times, chunk_size,
+            include_nugget=include_nugget, batch_size=batch_size,
+        )
+        return self._wrap_chunks(
+            stream, n_times, annual_forcing, include_nugget, start_year
         )
 
-    def _stream_chunks(
+    def generate_stream_multi(
         self,
-        n_realizations: int,
+        rngs: "list[np.random.Generator]",
         n_times: int,
         annual_forcing: np.ndarray,
-        rng: np.random.Generator,
+        include_nugget: bool = True,
+        start_year: int = 1940,
+        chunk_size: int | None = None,
+    ) -> Iterator[ClimateEnsemble]:
+        """Stream ``B = len(rngs)`` independent realisations in one batch.
+
+        The campaign hot path: member ``b`` of every yielded chunk draws
+        *only* from ``rngs[b]`` in serial order, so it is bit-identical to
+        ``generate_stream(n_realizations=1, rng=rngs[b], ...)``, while the
+        VAR recursion, the inverse SHT and the trend/scale restore run
+        once on the stacked batch (see
+        :meth:`SpectralStochasticModel.generate_standardized_stream_multi
+        <repro.core.spectral_model.SpectralStochasticModel.generate_standardized_stream_multi>`).
+        All batched members share one ``annual_forcing`` (and hence one
+        mean trend), which is why :func:`repro.run_campaign` only batches
+        realizations of the same scenario together.
+
+        Yields
+        ------
+        ClimateEnsemble
+            Chunks of shape ``(B, <=chunk_size, ntheta, nphi)`` with the
+            same metadata layout as :meth:`generate_stream`.
+        """
+        rngs = list(rngs)
+        if not rngs:
+            raise ValueError("rngs must contain at least one generator")
+        if n_times < 1:
+            raise ValueError("n_times must be positive")
+        if chunk_size is None:
+            chunk_size = self.steps_per_year
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        annual_forcing = np.asarray(annual_forcing, dtype=np.float64)
+        needed_years = -(-n_times // self.steps_per_year)
+        if len(annual_forcing) < needed_years:
+            raise ValueError(
+                f"forcing covers {len(annual_forcing)} years but {n_times} "
+                f"steps require {needed_years}"
+            )
+        stream = self.spectral_model.generate_standardized_stream_multi(
+            rngs, n_times, chunk_size, include_nugget=include_nugget
+        )
+        return self._wrap_chunks(
+            stream, n_times, annual_forcing, include_nugget, start_year
+        )
+
+    def _wrap_chunks(
+        self,
+        stream: Iterator[tuple[int, np.ndarray]],
+        n_times: int,
+        annual_forcing: np.ndarray,
         include_nugget: bool,
         start_year: int,
-        chunk_size: int,
     ) -> Iterator[ClimateEnsemble]:
-        stream = self.spectral_model.generate_standardized_stream(
-            rng, n_realizations, n_times, chunk_size, include_nugget=include_nugget
-        )
+        """Restore trend and scale, and wrap raw chunks as ensembles."""
         for t_start, z in stream:
             nt = z.shape[1]
             mean = self.trend_model.predict(

@@ -19,8 +19,8 @@ from typing import Iterator
 
 from repro.core.var import DiagonalVAR
 from repro.linalg.cholesky import CholeskyResult, MixedPrecisionCholesky
-from repro.sht.backends import SHT_BACKENDS
 from repro.sht.grid import Grid
+from repro.sht.plancache import get_plan
 from repro.sht.realform import complex_from_real, real_from_complex
 
 __all__ = ["SpectralStochasticModel"]
@@ -64,7 +64,10 @@ class SpectralStochasticModel:
     initial_state: np.ndarray | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
-        self.plan = SHT_BACKENDS.create(self.sht_method, lmax=self.lmax, grid=self.grid)
+        # Plans are pure precomputation keyed on (backend, lmax, grid), so
+        # every model in the process shares one set of Wigner/quadrature
+        # tables instead of rebuilding O(L^3) values per instance.
+        self.plan = get_plan(self.sht_method, lmax=self.lmax, grid=self.grid)
         self.var = DiagonalVAR(order=self.var_order)
 
     # ------------------------------------------------------------------ #
@@ -157,18 +160,44 @@ class SpectralStochasticModel:
         n_realizations: int,
         n_times: int,
         include_nugget: bool = True,
+        batch_size: int | None = None,
     ) -> np.ndarray:
         """Generate standardised stochastic fields ``Z_t`` (Section III-B).
 
         Implemented as the single-chunk case of
         :meth:`generate_standardized_stream`, so the two paths cannot
-        drift apart.
+        drift apart.  Output is ``float64`` of shape
+        ``(n_realizations, n_times, ntheta, nphi)`` and is a deterministic
+        function of ``rng`` alone — ``batch_size`` never changes a bit of
+        it (see :meth:`generate_standardized_stream`).
         """
         stream = self.generate_standardized_stream(
             rng, n_realizations, n_times, chunk_size=n_times,
-            include_nugget=include_nugget,
+            include_nugget=include_nugget, batch_size=batch_size,
         )
         return next(iter(stream))[1]
+
+    def _synthesize(self, series: np.ndarray, batch_size: int | None) -> np.ndarray:
+        """Inverse-transform a real coefficient series, blockwise over axis 0.
+
+        ``series`` has shape ``(R, T, L**2)``; the inverse SHT is applied
+        in realization blocks of at most ``batch_size`` (all at once when
+        ``None``), bounding the synthesis working set without changing the
+        result: the transform is independent per leading slice, so the
+        blocked output is bit-identical to the single-pass output.
+        """
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        n_real = series.shape[0]
+        if batch_size is None or batch_size >= n_real:
+            return self.plan.inverse(complex_from_real(series))
+        fields = np.empty(series.shape[:2] + self.grid.shape, dtype=np.float64)
+        for start in range(0, n_real, batch_size):
+            block = series[start:start + batch_size]
+            fields[start:start + batch_size] = self.plan.inverse(
+                complex_from_real(block)
+            )
+        return fields
 
     def generate_standardized_stream(
         self,
@@ -177,6 +206,7 @@ class SpectralStochasticModel:
         n_times: int,
         chunk_size: int,
         include_nugget: bool = True,
+        batch_size: int | None = None,
     ) -> Iterator[tuple[int, np.ndarray]]:
         """Yield ``(t_start, fields)`` chunks of the standardised process.
 
@@ -187,6 +217,12 @@ class SpectralStochasticModel:
         single-chunk case (``chunk_size = n_times``), so a stream whose
         first chunk covers the whole record reproduces its output bit for
         bit.
+
+        ``batch_size`` caps how many realizations the inverse transform
+        synthesises per pass (the ``O(L^3)`` working set); every random
+        draw is made at full ``n_realizations`` width in a fixed order
+        (innovations, then nugget, per chunk), so the output is
+        bit-identical for every ``batch_size`` under the same ``rng``.
         """
         if self.cholesky is None or self.nugget_std is None:
             raise RuntimeError("fit() must be called first")
@@ -194,6 +230,8 @@ class SpectralStochasticModel:
             raise ValueError("n_realizations and n_times must be positive")
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive")
         p = self.var_order
         k = self.cholesky.factor.n
         if p > 0:
@@ -211,9 +249,86 @@ class SpectralStochasticModel:
             series = self.var.simulate(xi, initial=history)
             if p > 0:
                 history = np.concatenate([history, series], axis=1)[:, -p:, :]
-            fields = self.plan.inverse(complex_from_real(series))
+            fields = self._synthesize(series, batch_size)
             if include_nugget:
                 fields = fields + self.nugget_std * rng.standard_normal(fields.shape)
+            yield t_start, fields
+
+    def generate_standardized_stream_multi(
+        self,
+        rngs: "list[np.random.Generator]",
+        n_times: int,
+        chunk_size: int,
+        include_nugget: bool = True,
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Drive ``B`` independent single-realization streams in one pass.
+
+        The batched synthesis hot path: realization ``b`` consumes random
+        draws *only* from ``rngs[b]``, in exactly the order a serial
+        ``generate_standardized_stream(rngs[b], n_realizations=1, ...)``
+        call would (per chunk: one ``(1, nt, L**2)`` innovation draw, then
+        one ``(1, nt, ntheta, nphi)`` nugget draw), while the expensive
+        data-independent work — the VAR recursion and the inverse SHT —
+        runs once on the stacked ``(B, nt, L**2)`` coefficient block.
+        Both are computed independently per leading slice (elementwise AR
+        update; per-slice einsum/FFT), so chunk ``b`` of the yielded stack
+        is bit-identical to the serial stream under ``rngs[b]``.  This is
+        what lets :func:`repro.run_campaign` vectorise realizations that
+        have per-run ``SeedSequence``-spawned generators without changing
+        a single output bit.
+
+        Parameters
+        ----------
+        rngs:
+            One generator per batched stream (``B = len(rngs)``); each is
+            advanced exactly as its serial counterpart would be.
+        n_times / chunk_size / include_nugget:
+            As in :meth:`generate_standardized_stream`.
+
+        Yields
+        ------
+        tuple[int, numpy.ndarray]
+            ``(t_start, fields)`` with ``fields`` of dtype ``float64`` and
+            shape ``(B, <=chunk_size, ntheta, nphi)``.
+        """
+        if self.cholesky is None or self.nugget_std is None:
+            raise RuntimeError("fit() must be called first")
+        rngs = list(rngs)
+        if not rngs:
+            raise ValueError("rngs must contain at least one generator")
+        if n_times < 1:
+            raise ValueError("n_times must be positive")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        n_batch = len(rngs)
+        p = self.var_order
+        k = self.cholesky.factor.n
+        lower_t = self.cholesky.lower().T
+        if p > 0:
+            init = (
+                np.asarray(self.initial_state, dtype=np.float64)
+                if self.initial_state is not None
+                else np.zeros((p, k))
+            )
+            history = np.broadcast_to(init[-p:], (n_batch, p, k)).copy()
+        else:
+            history = None
+        for t_start in range(0, n_times, chunk_size):
+            nt = min(chunk_size, n_times - t_start)
+            # Per-stream draws, stacked: stream b's generator sees the same
+            # request sequence as a serial n_realizations=1 run.
+            z = np.concatenate(
+                [rng.standard_normal((1, nt, k)) for rng in rngs], axis=0
+            )
+            xi = z @ lower_t
+            series = self.var.simulate(xi, initial=history)
+            if p > 0:
+                history = np.concatenate([history, series], axis=1)[:, -p:, :]
+            fields = self.plan.inverse(complex_from_real(series))
+            if include_nugget:
+                for b, rng in enumerate(rngs):
+                    noise = rng.standard_normal((1, nt) + self.grid.shape)
+                    fields[b] = fields[b] + self.nugget_std * noise[0]
             yield t_start, fields
 
     # ------------------------------------------------------------------ #

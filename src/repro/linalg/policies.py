@@ -111,7 +111,9 @@ def band_policy(
 #: ``CHOLESKY_VARIANTS.register(name, factory)`` and then referenced by
 #: name from :class:`~repro.core.config.EmulatorConfig` without touching
 #: any consumer code.
-CHOLESKY_VARIANTS = BackendRegistry("Cholesky precision variant")
+CHOLESKY_VARIANTS = BackendRegistry(
+    "Cholesky precision variant", doc_hint="docs/api.md#cholesky-precision-variants"
+)
 
 CHOLESKY_VARIANTS.register(
     "DP",

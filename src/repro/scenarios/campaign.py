@@ -15,6 +15,14 @@ emulator (or a saved artifact path) plus ``scenarios x realizations``, and
   <repro.core.emulator.ClimateEmulator.emulate_stream>` so peak memory
   stays at one chunk per worker regardless of scenario length, optionally
   writing each chunk straight to disk;
+* optionally *batches* realizations of the same scenario
+  (``batch_size > 1``): each batched run keeps its own per-run generator,
+  but the VAR recursion and the inverse spherical-harmonic transform run
+  once on the stacked coefficient block
+  (:meth:`EmulationGenerator.generate_stream_multi
+  <repro.core.generator.EmulationGenerator.generate_stream_multi>`), which
+  amortises the ``O(L^3)`` synthesis over the batch with bit-identical
+  output;
 * emits a :class:`CampaignManifest` recording, per run, the scenario, the
   seed spawn key, the chunk layout and the measured output bytes — the
   numbers :func:`repro.storage.accounting.campaign_storage_report` turns
@@ -116,6 +124,7 @@ class CampaignManifest:
     executor: str
     artifact_bytes: int
     runs: list[CampaignRunRecord] = field(default_factory=list)
+    batch_size: int = 1
 
     @property
     def n_runs(self) -> int:
@@ -158,6 +167,7 @@ class CampaignManifest:
             "collect": str(self.collect),
             "max_workers": int(self.max_workers),
             "executor": str(self.executor),
+            "batch_size": int(self.batch_size),
             "artifact_bytes": int(self.artifact_bytes),
             "n_runs": self.n_runs,
             "total_output_bytes": int(self.total_output_bytes),
@@ -235,13 +245,70 @@ def plan_campaign(
     return plans
 
 
+@dataclass
+class _RunAccumulator:
+    """Per-run bookkeeping shared by the serial and batched executors."""
+
+    plan: CampaignRunPlan
+    chunk_sizes: list[int] = field(default_factory=list)
+    output_files: list[str] = field(default_factory=list)
+    collected_parts: "list[np.ndarray]" = field(default_factory=list)
+    output_bytes: int = 0
+
+    def add_chunk(
+        self, j: int, t_start: int, member: np.ndarray, global_means: np.ndarray
+    ) -> None:
+        """Record one chunk of this run.
+
+        ``member`` is the run's ``(1, nt, ntheta, nphi)`` slice of the
+        chunk; ``global_means`` its ``(nt,)`` area-weighted mean series.
+        """
+        plan = self.plan
+        nt = member.shape[1]
+        self.chunk_sizes.append(nt)
+        self.output_bytes += member.size * np.dtype(np.float32).itemsize
+        if plan.collect == "global-mean":
+            self.collected_parts.append(global_means)
+        elif plan.collect == "fields":
+            self.collected_parts.append(member[0])
+        if plan.output_dir is not None:
+            name = (
+                f"run{plan.index:03d}_{_slug(plan.scenario)}"
+                f"_r{plan.realization}_chunk{j:04d}.npz"
+            )
+            path = os.path.join(plan.output_dir, name)
+            np.savez(
+                path,
+                data=member.astype(np.float32),
+                t_start=t_start,
+                scenario=plan.scenario,
+                realization=plan.realization,
+            )
+            self.output_files.append(path)
+
+    def record(self) -> CampaignRunRecord:
+        """Finish the run and build its manifest record."""
+        collected = (
+            np.concatenate(self.collected_parts, axis=0)
+            if self.collected_parts else None
+        )
+        return CampaignRunRecord(
+            index=self.plan.index,
+            scenario=self.plan.scenario,
+            realization=self.plan.realization,
+            spawn_key=self.plan.spawn_key,
+            n_times=self.plan.n_times,
+            chunk_sizes=self.chunk_sizes,
+            output_bytes=self.output_bytes,
+            output_files=self.output_files,
+            collected=collected,
+        )
+
+
 def _execute_run(emulator, plan: CampaignRunPlan) -> CampaignRunRecord:
     """Stream one run chunk by chunk and record its outcome."""
     rng = np.random.default_rng(plan.seed)
-    chunk_sizes: list[int] = []
-    output_files: list[str] = []
-    collected_parts: list[np.ndarray] = []
-    output_bytes = 0
+    acc = _RunAccumulator(plan)
     stream = emulator.emulate_stream(
         n_realizations=1,
         n_times=plan.n_times,
@@ -251,38 +318,68 @@ def _execute_run(emulator, plan: CampaignRunPlan) -> CampaignRunRecord:
         chunk_size=plan.chunk_size,
     )
     for j, chunk in enumerate(stream):
-        chunk_sizes.append(chunk.n_times)
-        output_bytes += chunk.storage_bytes(np.float32)
-        if plan.collect == "global-mean":
-            collected_parts.append(chunk.global_mean_series()[0])
-        elif plan.collect == "fields":
-            collected_parts.append(chunk.data[0])
-        if plan.output_dir is not None:
-            name = (
-                f"run{plan.index:03d}_{_slug(plan.scenario)}"
-                f"_r{plan.realization}_chunk{j:04d}.npz"
-            )
-            path = os.path.join(plan.output_dir, name)
-            np.savez(
-                path,
-                data=chunk.data.astype(np.float32),
-                t_start=chunk.metadata.get("stream_offset", 0),
-                scenario=plan.scenario,
-                realization=plan.realization,
-            )
-            output_files.append(path)
-    collected = np.concatenate(collected_parts, axis=0) if collected_parts else None
-    return CampaignRunRecord(
-        index=plan.index,
-        scenario=plan.scenario,
-        realization=plan.realization,
-        spawn_key=plan.spawn_key,
-        n_times=plan.n_times,
-        chunk_sizes=chunk_sizes,
-        output_bytes=output_bytes,
-        output_files=output_files,
-        collected=collected,
+        t_start = chunk.metadata.get("stream_offset", 0)
+        acc.add_chunk(j, t_start, chunk.data, chunk.global_mean_series()[0])
+    return acc.record()
+
+
+def _execute_batch(emulator, plans: "list[CampaignRunPlan]") -> "list[CampaignRunRecord]":
+    """Execute a block of same-scenario runs in one vectorized stream.
+
+    Every plan keeps its own ``SeedSequence``-derived generator and
+    consumes it in exactly the serial order, so each returned record is
+    bit-identical to ``_execute_run`` on the same plan; only the shared
+    data-independent work (VAR recursion, inverse SHT, trend/scale
+    restore) is amortised across the block.
+    """
+    if len(plans) == 1:
+        return [_execute_run(emulator, plans[0])]
+    first = plans[0]
+    assert all(p.scenario == first.scenario for p in plans), (
+        "batched plans must share one scenario (one forcing / mean trend)"
     )
+    rngs = [np.random.default_rng(plan.seed) for plan in plans]
+    accs = [_RunAccumulator(plan) for plan in plans]
+    summary = emulator.training_summary
+    stream = emulator.generator().generate_stream_multi(
+        rngs,
+        n_times=first.n_times,
+        annual_forcing=first.forcing,
+        include_nugget=first.include_nugget,
+        start_year=summary.start_year,
+        chunk_size=first.chunk_size,
+    )
+    for j, chunk in enumerate(stream):
+        t_start = chunk.metadata.get("stream_offset", 0)
+        means = chunk.global_mean_series()  # (B, nt)
+        for b, acc in enumerate(accs):
+            acc.add_chunk(j, t_start, chunk.data[b:b + 1], means[b])
+    return [acc.record() for acc in accs]
+
+
+def _batch_plans(
+    plans: "list[CampaignRunPlan]", batch_size: int | None
+) -> "list[list[CampaignRunPlan]]":
+    """Group plans into same-scenario blocks of at most ``batch_size``.
+
+    Plans are scenario-major (see :func:`plan_campaign`), so consecutive
+    runs of one scenario form each block; ``None`` or 1 degenerates to
+    one-run blocks (the per-run serial path).
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    size = 1 if batch_size is None else int(batch_size)
+    blocks: list[list[CampaignRunPlan]] = []
+    for plan in plans:
+        if (
+            blocks
+            and len(blocks[-1]) < size
+            and blocks[-1][0].scenario == plan.scenario
+        ):
+            blocks[-1].append(plan)
+        else:
+            blocks.append([plan])
+    return blocks
 
 
 # Per-worker-process cache: each ProcessPoolExecutor worker loads the
@@ -291,13 +388,20 @@ def _execute_run(emulator, plan: CampaignRunPlan) -> CampaignRunRecord:
 _WORKER_EMULATORS: dict[str, object] = {}
 
 
-def _execute_run_in_process(plan: CampaignRunPlan, source) -> CampaignRunRecord:
-    """Process-pool entry point: resolve the emulator once per worker."""
+def _execute_batch_in_process(
+    plans: "list[CampaignRunPlan]", source
+) -> "list[CampaignRunRecord]":
+    """Process-pool entry point: resolve the emulator once per worker.
+
+    Loading through :func:`repro.api.facade.load` warms the worker's own
+    SHT plan cache, so every block the worker executes reuses one set of
+    precomputed transform tables.
+    """
     key = os.fspath(source)
     emulator = _WORKER_EMULATORS.get(key)
     if emulator is None:
         emulator = _WORKER_EMULATORS[key] = _resolve_emulator(source)
-    return _execute_run(emulator, plan)
+    return _execute_batch(emulator, plans)
 
 
 def run_campaign(
@@ -310,12 +414,24 @@ def run_campaign(
     seed: int = 0,
     max_workers: int | None = None,
     executor: str = "thread",
+    batch_size: int | None = None,
     include_nugget: bool = True,
     collect: str = "global-mean",
     output_dir: "str | os.PathLike | None" = None,
     start_level: float = 2.5,
 ) -> CampaignManifest:
     """Replay a fitted emulator across ``scenarios x realizations`` runs.
+
+    Determinism guarantee: every per-run output (the run records, the
+    collected reductions, the NPZ chunks) is a pure function of
+    ``(source, scenarios, n_realizations, n_times, chunk_size, seed,
+    include_nugget, collect, start_level)``.  Run ``i`` always draws
+    from the ``SeedSequence`` child with ``spawn_key == (i,)``, so
+    ``max_workers``, ``executor`` and ``batch_size`` are throughput
+    knobs only — any combination produces bit-identical runs.  (The
+    manifest *header* records those execution knobs for provenance, so
+    whole-manifest JSON differs across them even though ``runs`` never
+    does.)
 
     Parameters
     ----------
@@ -336,6 +452,14 @@ def run_campaign(
         ``spawn_key == (i,)``, so results do not depend on ``max_workers``.
     max_workers:
         Worker count; ``None`` or 1 runs serially.
+    batch_size:
+        Realizations of one scenario synthesised together per vectorized
+        block (``None`` or 1 keeps the per-run path).  Batched runs keep
+        their own per-run generators, so output is bit-identical to the
+        serial path; the VAR recursion and the ``O(L^3)`` inverse SHT run
+        once per block instead of once per run.  Work is sharded across
+        workers block-wise, so for small campaigns a large ``batch_size``
+        trades worker parallelism for vectorization.
     executor:
         ``"thread"`` (default; generation is read-only on the fitted
         state) or ``"process"`` (each worker process loads the artifact
@@ -373,6 +497,8 @@ def run_campaign(
     chunk_size = int(chunk_size) if chunk_size is not None else summary.steps_per_year
     if chunk_size < 1:
         raise ValueError("chunk_size must be positive")
+    if batch_size is not None and int(batch_size) < 1:
+        raise ValueError("batch_size must be positive")
     workers = 1 if max_workers is None else int(max_workers)
     if workers < 1:
         raise ValueError("max_workers must be positive")
@@ -394,11 +520,13 @@ def run_campaign(
     else:
         artifact_bytes = emulator.measured_artifact_bytes()
 
+    blocks = _batch_plans(plans, batch_size)
     if workers == 1:
-        records = [_execute_run(emulator, plan) for plan in plans]
+        records = [rec for block in blocks for rec in _execute_batch(emulator, block)]
     elif executor == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            records = list(pool.map(partial(_execute_run, emulator), plans))
+            batched = pool.map(partial(_execute_batch, emulator), blocks)
+            records = [rec for block_records in batched for rec in block_records]
     else:
         with contextlib.ExitStack() as stack:
             worker_source = source
@@ -411,9 +539,10 @@ def run_campaign(
                 )
                 worker_source = emulator.save(os.path.join(tmp_dir, "emulator.npz"))
             pool = stack.enter_context(ProcessPoolExecutor(max_workers=workers))
-            records = list(pool.map(
-                partial(_execute_run_in_process, source=worker_source), plans
-            ))
+            batched = pool.map(
+                partial(_execute_batch_in_process, source=worker_source), blocks
+            )
+            records = [rec for block_records in batched for rec in block_records]
 
     return CampaignManifest(
         seed=int(seed),
@@ -425,4 +554,5 @@ def run_campaign(
         executor=executor,
         artifact_bytes=artifact_bytes,
         runs=records,
+        batch_size=1 if batch_size is None else int(batch_size),
     )

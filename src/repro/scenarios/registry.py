@@ -29,7 +29,7 @@ from repro.util.registry import BackendRegistry
 __all__ = ["SCENARIOS", "list_scenarios", "register_scenario", "resolve_scenario"]
 
 #: Registry of named forcing pathways (factories returning ScenarioSpec).
-SCENARIOS = BackendRegistry("forcing scenario")
+SCENARIOS = BackendRegistry("forcing scenario", doc_hint="docs/api.md#scenarios")
 
 
 def register_scenario(

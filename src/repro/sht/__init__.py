@@ -16,6 +16,8 @@ climate emulator (paper Section III-A.1/III-A.2):
   Eqs. (4)-(8): FFT along longitude, FFT along the extended colatitude, and
   the Wigner-d contraction, with an explicit precomputed plan.
 * :mod:`repro.sht.direct` — slow direct transforms used for validation.
+* :mod:`repro.sht.plancache` — the process-safe cache of precomputed plans
+  shared by every model and campaign worker in a process.
 * :mod:`repro.sht.spectrum` — angular power spectra and spectral utilities.
 
 Coefficients are stored in a flat complex vector of length ``L**2`` indexed
@@ -36,6 +38,12 @@ from repro.sht.transform import (
 )
 from repro.sht.direct import direct_forward, direct_inverse
 from repro.sht.backends import SHT_BACKENDS, DirectSHTPlan
+from repro.sht.plancache import (
+    clear_plan_cache,
+    get_plan,
+    plan_cache_key,
+    plan_cache_stats,
+)
 from repro.sht.spectrum import angular_power_spectrum, spectrum_from_grid
 from repro.sht.wigner import wigner_d_pi2, wigner_d_pi2_all, wigner_d_explicit
 
@@ -45,15 +53,19 @@ __all__ = [
     "SHTPlan",
     "SHT_BACKENDS",
     "angular_power_spectrum",
+    "clear_plan_cache",
     "coeff_index",
     "coeff_lm",
     "direct_forward",
     "direct_inverse",
     "exponential_sine_integral",
     "extended_colatitude_length",
+    "get_plan",
     "integral_matrix",
     "legendre_normalized",
     "num_coeffs",
+    "plan_cache_key",
+    "plan_cache_stats",
     "sht_forward",
     "sht_inverse",
     "spectrum_from_grid",

@@ -76,7 +76,13 @@ class DirectSHTPlan:
         return direct_forward(np.asarray(data), self.lmax, self.grid, method=self.method)
 
     def inverse(self, coeffs: np.ndarray, real: bool = True) -> np.ndarray:
-        """Synthesis: coefficients ``(..., L**2)`` to field(s)."""
+        """Synthesis: coefficients ``(..., L**2)`` to field(s).
+
+        Stacked ``(n_batch, L**2)`` inputs are synthesised in one dense
+        matmul pass with per-slice bit-identical results, matching the
+        batched contract of :meth:`SHTPlan.inverse
+        <repro.sht.transform.SHTPlan.inverse>`.
+        """
         coeffs = np.asarray(coeffs, dtype=np.complex128)
         if coeffs.shape[-1] != self.n_coeffs:
             raise ValueError(
@@ -86,7 +92,7 @@ class DirectSHTPlan:
 
 
 #: Registry of SHT implementations selectable by name (see module docstring).
-SHT_BACKENDS = BackendRegistry("SHT backend")
+SHT_BACKENDS = BackendRegistry("SHT backend", doc_hint="docs/api.md#sht-backends")
 
 SHT_BACKENDS.register(
     "fast",

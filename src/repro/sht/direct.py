@@ -49,7 +49,14 @@ def synthesis_matrix(lmax: int, grid: Grid) -> np.ndarray:
 
 
 def direct_inverse(coeffs: np.ndarray, grid: Grid, real: bool = True) -> np.ndarray:
-    """Direct synthesis by explicit summation over coefficients."""
+    """Direct synthesis by explicit summation over coefficients.
+
+    ``coeffs`` is ``(..., L**2)`` complex; a stacked ``(n_batch, L**2)``
+    input is synthesised in a single dense matmul against the synthesis
+    operator, independently per leading slice (bit-identical to
+    transforming each slice alone).  Returns ``(..., ntheta, nphi)``
+    fields (``float64`` when ``real``, else ``complex128``).
+    """
     coeffs = np.asarray(coeffs, dtype=np.complex128)
     lmax = int(round(np.sqrt(coeffs.shape[-1])))
     mat = synthesis_matrix(lmax, grid)

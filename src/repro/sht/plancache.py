@@ -1,0 +1,134 @@
+"""Process-safe cache of precomputed SHT plans.
+
+Building a transform plan is the expensive, data-independent part of the
+synthesis hot path: the Wigner-d tables alone are ``O(L^3)`` values, and
+at ERA5 scale (``L = 720``) constructing them dwarfs the cost of a single
+inverse transform.  Before this cache every consumer that instantiated a
+:class:`~repro.core.spectral_model.SpectralStochasticModel` — each
+``repro.load`` of the same artifact, each campaign worker process — paid
+that cost again.
+
+:func:`get_plan` memoises plans per process, keyed on
+``(backend, lmax, grid)``:
+
+* **backend** is resolved through
+  :data:`repro.sht.backends.SHT_BACKENDS`, so aliases share one entry
+  (``"fft"`` and ``"fast"`` hit the same plan) and re-registering a name
+  (``overwrite=True``) starts a fresh entry rather than serving a stale
+  plan (the registry stamps every registration with a revision counter);
+* **lmax / grid** pin the band-limit and the ``(ntheta, nphi)`` shape.
+
+The cache is *per process* by construction (module state is never shared
+across ``fork``/``spawn`` boundaries at the Python level), which is what
+makes it safe under :func:`repro.run_campaign`'s process executor: each
+worker process warms its own cache on first use and every run that worker
+executes reuses the same tables.  Within a process, access is guarded by a
+lock, and a plan under concurrent construction is built at most once per
+key (the first finished build wins; see :func:`get_plan`).
+
+Cached plans are shared, so they must be treated as **read-only**; the
+built-in backends never mutate a plan after construction, and custom
+backends registered with ``SHT_BACKENDS.register`` must follow the same
+contract to be cacheable.  The cache is unbounded — the key space
+(backends x band-limits x grids actually in use) is tiny in practice —
+and :func:`clear_plan_cache` empties it explicitly (tests, memory-pressure
+handling).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.sht.backends import SHT_BACKENDS
+from repro.sht.grid import Grid
+
+__all__ = ["clear_plan_cache", "get_plan", "plan_cache_key", "plan_cache_stats"]
+
+_LOCK = threading.Lock()
+_CACHE: dict[tuple, object] = {}
+_HITS = 0
+_MISSES = 0
+
+
+def plan_cache_key(sht_method: str, lmax: int, grid: Grid) -> tuple:
+    """The cache key for a plan request: ``(name, revision, lmax, ntheta, nphi)``.
+
+    The backend name is canonicalised through the registry (aliases map to
+    the primary name, lookup is case-insensitive) and carries the
+    registration revision, so a re-registered backend never answers from a
+    stale entry.  Raises
+    :class:`~repro.util.registry.UnknownBackendError` for names the
+    registry does not know.
+    """
+    spec = SHT_BACKENDS.resolve(sht_method)
+    return (spec.name, spec.revision, int(lmax), int(grid.ntheta), int(grid.nphi))
+
+
+def get_plan(sht_method: str, lmax: int, grid: Grid):
+    """The shared plan for ``(sht_method, lmax, grid)``, built at most once.
+
+    On a hit the *same object* (same Wigner/Legendre/quadrature tables) is
+    returned to every caller in the process; on a miss the backend factory
+    runs outside the lock (plan construction is ``O(L^3)`` and must not
+    serialise unrelated lookups) and the first finished build is kept —
+    a concurrent duplicate build of the same key is discarded, so all
+    callers still converge on one shared plan.
+
+    Parameters
+    ----------
+    sht_method:
+        Registered backend name or alias (``"fast"``, ``"direct"``, ...).
+    lmax:
+        Band-limit ``L``.
+    grid:
+        Equiangular grid; must support the band-limit (enforced by the
+        backend's own constructor).
+
+    Returns
+    -------
+    object
+        A plan exposing ``forward`` / ``inverse`` at the requested
+        band-limit and grid.  Treat it as read-only: it is shared.
+    """
+    global _HITS, _MISSES
+    key = plan_cache_key(sht_method, lmax, grid)
+    with _LOCK:
+        plan = _CACHE.get(key)
+        if plan is not None:
+            _HITS += 1
+            return plan
+    built = SHT_BACKENDS.resolve(sht_method).factory(lmax=lmax, grid=grid)
+    with _LOCK:
+        plan = _CACHE.setdefault(key, built)
+        if plan is built:
+            _MISSES += 1
+        else:
+            _HITS += 1
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters."""
+    global _HITS, _MISSES
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0
+
+
+def plan_cache_stats() -> dict:
+    """Cache observability: ``{"size", "hits", "misses", "pid", "keys"}``.
+
+    ``pid`` makes per-process warm-up visible in campaign workers (each
+    worker process reports its own counters); ``keys`` lists the cached
+    ``(backend, revision, lmax, ntheta, nphi)`` tuples.
+    """
+    with _LOCK:
+        return {
+            "size": len(_CACHE),
+            "hits": _HITS,
+            "misses": _MISSES,
+            "pid": os.getpid(),
+            "keys": sorted(_CACHE),
+        }

@@ -26,10 +26,14 @@ it as the public spelling.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 __all__ = ["BackendRegistry", "BackendSpec", "UnknownBackendError"]
+
+#: Monotone stamp handed to each registration (see BackendSpec.revision).
+_REVISIONS = itertools.count(1)
 
 
 class UnknownBackendError(ValueError):
@@ -47,12 +51,19 @@ def _canonical(name: str) -> str:
 
 @dataclass(frozen=True)
 class BackendSpec:
-    """A registered backend: display name, factory and documentation."""
+    """A registered backend: display name, factory and documentation.
+
+    ``revision`` is a process-wide monotone stamp assigned at registration
+    time; caches keyed on a backend (e.g. the SHT plan cache) include it
+    so that re-registering a name under ``overwrite=True`` invalidates
+    entries built from the replaced factory.
+    """
 
     name: str
     factory: Callable[..., Any]
     description: str = ""
     aliases: tuple[str, ...] = ()
+    revision: int = 0
 
 
 class BackendRegistry:
@@ -63,6 +74,11 @@ class BackendRegistry:
     kind:
         Human-readable description of what the registry holds (e.g.
         ``"SHT backend"``); used in error messages.
+    doc_hint:
+        Optional pointer to the documentation page cataloguing the
+        registered backends (e.g. ``"docs/api.md"``); appended to
+        unknown-name error messages so the error itself says where the
+        catalogue lives.
 
     Examples
     --------
@@ -74,8 +90,9 @@ class BackendRegistry:
     42
     """
 
-    def __init__(self, kind: str) -> None:
+    def __init__(self, kind: str, doc_hint: str = "") -> None:
         self.kind = kind
+        self.doc_hint = doc_hint
         self._specs: dict[str, BackendSpec] = {}
         self._aliases: dict[str, str] = {}
 
@@ -133,7 +150,7 @@ class BackendRegistry:
 
         spec = BackendSpec(
             name=str(name), factory=factory, description=description,
-            aliases=tuple(str(a) for a in aliases),
+            aliases=tuple(str(a) for a in aliases), revision=next(_REVISIONS),
         )
         # A stale alias pointing elsewhere would shadow the new spec at
         # resolve() time (aliases are consulted first), so retire it.
@@ -177,7 +194,10 @@ class BackendRegistry:
 
     def _unknown_message(self, name: str) -> str:
         available = ", ".join(repr(n) for n in self.names()) or "<none registered>"
-        return f"unknown {self.kind} {str(name)!r}; available backends: {available}"
+        message = f"unknown {self.kind} {str(name)!r}; available backends: {available}"
+        if self.doc_hint:
+            message += f" (see {self.doc_hint})"
+        return message
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -128,6 +128,20 @@ class TestShtBackends:
         message = str(excinfo.value)
         assert "'fast'" in message and "'direct'" in message
 
+    def test_unknown_name_errors_point_at_the_docs(self):
+        """SHT / scenario / Cholesky lookups cross-reference docs/api.md."""
+        from repro.linalg.policies import CHOLESKY_VARIANTS
+        from repro.scenarios.registry import SCENARIOS
+
+        for registry, bad_name in (
+            (SHT_BACKENDS, "nonexistent"),
+            (SCENARIOS, "rcp-11.0"),
+            (CHOLESKY_VARIANTS, "DP/QP"),
+        ):
+            with pytest.raises(UnknownBackendError) as excinfo:
+                registry.resolve(bad_name)
+            assert "see docs/api.md" in str(excinfo.value)
+
     def test_new_backend_usable_without_core_edits(self):
         """Registering a name makes it work through the spectral model."""
         SHT_BACKENDS.register(

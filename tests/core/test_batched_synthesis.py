@@ -1,0 +1,144 @@
+"""Bit-exactness tests of the batched synthesis hot path.
+
+Two independent guarantees are pinned here:
+
+* ``batch_size`` (the inverse-SHT working-set cap on a single shared-rng
+  emulation) never changes an output bit, for any chunk layout;
+* the multi-stream path (one generator per realization, stacked
+  synthesis) is bit-identical to running each generator through the
+  serial single-realization path — across chunk boundaries, including
+  ragged final chunks.
+"""
+
+import numpy as np
+import pytest
+
+
+class TestBatchSizeInvariance:
+    def test_generate_standardized_stream_batch_sizes_bit_identical(
+        self, fitted_emulator
+    ):
+        model = fitted_emulator.spectral_model
+        n_real, n_times, chunk = 5, 50, 24  # ragged final chunk
+        reference = None
+        for batch_size in (None, 1, 2, 5, 99):
+            rng = np.random.default_rng(77)
+            chunks = list(model.generate_standardized_stream(
+                rng, n_real, n_times, chunk, batch_size=batch_size
+            ))
+            stacked = np.concatenate([c for _, c in chunks], axis=1)
+            assert [t for t, _ in chunks] == [0, 24, 48]
+            assert stacked.shape[:2] == (n_real, n_times)
+            if reference is None:
+                reference = stacked
+            else:
+                np.testing.assert_array_equal(stacked, reference)
+
+    def test_emulate_batch_size_bit_identical(self, fitted_emulator):
+        reference = fitted_emulator.emulate(
+            n_realizations=4, n_times=30, rng=np.random.default_rng(3)
+        )
+        for batch_size in (1, 2, 3):
+            batched = fitted_emulator.emulate(
+                n_realizations=4, n_times=30, rng=np.random.default_rng(3),
+                batch_size=batch_size,
+            )
+            np.testing.assert_array_equal(batched.data, reference.data)
+
+    def test_emulate_stream_batch_size_bit_identical(self, fitted_emulator):
+        def collect(batch_size):
+            stream = fitted_emulator.emulate_stream(
+                n_realizations=3, n_times=40, rng=np.random.default_rng(8),
+                chunk_size=16, batch_size=batch_size,
+            )
+            return np.concatenate([chunk.data for chunk in stream], axis=1)
+
+        reference = collect(None)
+        np.testing.assert_array_equal(collect(2), reference)
+
+    def test_batch_size_validation(self, fitted_emulator):
+        with pytest.raises(ValueError, match="batch_size"):
+            fitted_emulator.emulate(n_realizations=2, batch_size=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            list(fitted_emulator.emulate_stream(n_realizations=2, batch_size=-1))
+
+
+class TestMultiStream:
+    def test_multi_stream_bit_identical_to_serial_streams(self, fitted_emulator):
+        """Member b of the stacked stream == a serial run under rngs[b]."""
+        model = fitted_emulator.spectral_model
+        n_times, chunk = 50, 24
+        seeds = np.random.SeedSequence(11).spawn(4)
+
+        multi = list(model.generate_standardized_stream_multi(
+            [np.random.default_rng(s) for s in seeds], n_times, chunk
+        ))
+        stacked = np.concatenate([c for _, c in multi], axis=1)
+        assert stacked.shape[0] == len(seeds)
+
+        for b, seed in enumerate(seeds):
+            serial_chunks = list(model.generate_standardized_stream(
+                np.random.default_rng(seed), 1, n_times, chunk
+            ))
+            serial = np.concatenate([c for _, c in serial_chunks], axis=1)[0]
+            np.testing.assert_array_equal(stacked[b], serial)
+
+    def test_generator_multi_stream_matches_serial_chunks(self, fitted_emulator):
+        """Full pipeline (trend + scale restored), chunk by chunk."""
+        generator = fitted_emulator.generator()
+        summary = fitted_emulator.training_summary
+        forcing = summary.forcing_annual
+        n_times, chunk = 40, 16
+        seeds = np.random.SeedSequence(23).spawn(3)
+
+        multi = list(generator.generate_stream_multi(
+            [np.random.default_rng(s) for s in seeds], n_times, forcing,
+            start_year=summary.start_year, chunk_size=chunk,
+        ))
+        for b, seed in enumerate(seeds):
+            serial = list(generator.generate_stream(
+                1, n_times, forcing, rng=np.random.default_rng(seed),
+                start_year=summary.start_year, chunk_size=chunk,
+            ))
+            assert len(serial) == len(multi)
+            for serial_chunk, multi_chunk in zip(serial, multi):
+                assert serial_chunk.metadata == multi_chunk.metadata
+                assert serial_chunk.start_year == multi_chunk.start_year
+                np.testing.assert_array_equal(
+                    multi_chunk.data[b], serial_chunk.data[0]
+                )
+
+    def test_multi_stream_global_means_bit_identical(self, fitted_emulator):
+        """The campaign's collected reduction is per-member bit-exact too."""
+        generator = fitted_emulator.generator()
+        summary = fitted_emulator.training_summary
+        seeds = np.random.SeedSequence(31).spawn(3)
+        multi = list(generator.generate_stream_multi(
+            [np.random.default_rng(s) for s in seeds], 24,
+            summary.forcing_annual, start_year=summary.start_year,
+        ))
+        for b, seed in enumerate(seeds):
+            serial = list(generator.generate_stream(
+                1, 24, summary.forcing_annual, rng=np.random.default_rng(seed),
+                start_year=summary.start_year,
+            ))
+            for serial_chunk, multi_chunk in zip(serial, multi):
+                np.testing.assert_array_equal(
+                    multi_chunk.global_mean_series()[b],
+                    serial_chunk.global_mean_series()[0],
+                )
+
+    def test_multi_stream_validation(self, fitted_emulator):
+        model = fitted_emulator.spectral_model
+        with pytest.raises(ValueError, match="at least one generator"):
+            list(model.generate_standardized_stream_multi([], 10, 5))
+        generator = fitted_emulator.generator()
+        with pytest.raises(ValueError, match="at least one generator"):
+            generator.generate_stream_multi(
+                [], 10, fitted_emulator.training_summary.forcing_annual
+            )
+        with pytest.raises(ValueError, match="forcing covers"):
+            generator.generate_stream_multi(
+                [np.random.default_rng(0)], 10_000,
+                fitted_emulator.training_summary.forcing_annual,
+            )

@@ -125,6 +125,74 @@ class TestDeterminism:
             assert np.array_equal(a.collected, b.collected)
 
 
+class TestBatchedSynthesis:
+    """``batch_size > 1`` vectorises same-scenario runs, bit-identically."""
+
+    def test_batched_bit_identical_to_serial(self, fitted_emulator,
+                                             serial_manifest):
+        for batch_size in (2, 3):
+            batched = run_campaign(
+                fitted_emulator, SCENARIO_NAMES, 2, n_times=48, chunk_size=24,
+                seed=2024, collect="fields", batch_size=batch_size,
+            )
+            assert batched.batch_size == batch_size
+            for serial_run, batched_run in zip(serial_manifest.runs, batched.runs):
+                assert serial_run.to_dict() == batched_run.to_dict()
+                assert np.array_equal(serial_run.collected, batched_run.collected)
+
+    def test_batched_and_sharded_combined(self, fitted_emulator, serial_manifest):
+        batched = run_campaign(
+            fitted_emulator, SCENARIO_NAMES, 2, n_times=48, chunk_size=24,
+            seed=2024, collect="fields", batch_size=2, max_workers=3,
+        )
+        for serial_run, batched_run in zip(serial_manifest.runs, batched.runs):
+            assert serial_run.to_dict() == batched_run.to_dict()
+            assert np.array_equal(serial_run.collected, batched_run.collected)
+
+    def test_batched_process_executor(self, fitted_emulator, serial_manifest,
+                                      tmp_path):
+        path = repro.save(fitted_emulator, tmp_path / "emulator.npz")
+        batched = run_campaign(
+            path, SCENARIO_NAMES, 2, n_times=48, chunk_size=24, seed=2024,
+            collect="fields", batch_size=2, max_workers=2, executor="process",
+        )
+        for serial_run, batched_run in zip(serial_manifest.runs, batched.runs):
+            assert np.array_equal(serial_run.collected, batched_run.collected)
+
+    def test_batched_output_files_bit_identical(self, fitted_emulator, tmp_path):
+        def outputs(batch_size, sub_dir):
+            manifest = run_campaign(
+                fitted_emulator, ["ssp-low"], 3, n_times=48, chunk_size=24,
+                seed=7, collect="none", output_dir=tmp_path / sub_dir,
+                batch_size=batch_size,
+            )
+            return [f for run in manifest.runs for f in run.output_files]
+
+        serial_files = outputs(None, "serial")
+        batched_files = outputs(3, "batched")
+        assert len(serial_files) == len(batched_files) == 6
+        for serial_path, batched_path in zip(serial_files, batched_files):
+            with np.load(serial_path) as a, np.load(batched_path) as b:
+                np.testing.assert_array_equal(a["data"], b["data"])
+                assert int(a["t_start"]) == int(b["t_start"])
+
+    def test_blocks_never_span_scenarios(self):
+        from repro.scenarios.campaign import _batch_plans, plan_campaign
+
+        plans = plan_campaign(["ssp-low", "ssp-high"], 3, n_times=24,
+                              steps_per_year=24, chunk_size=24)
+        blocks = _batch_plans(plans, 2)
+        assert [len(b) for b in blocks] == [2, 1, 2, 1]
+        for block in blocks:
+            assert len({p.scenario for p in block}) == 1
+        # Flattened blocks preserve campaign run order.
+        assert [p.index for b in blocks for p in b] == list(range(6))
+
+    def test_batch_size_validation(self, fitted_emulator):
+        with pytest.raises(ValueError, match="batch_size"):
+            run_campaign(fitted_emulator, ["constant"], batch_size=0)
+
+
 class TestManifest:
     def test_chunk_layout_covers_every_run(self, serial_manifest):
         for record in serial_manifest.runs:

@@ -1,0 +1,132 @@
+"""Tests of the process-safe SHT plan cache."""
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.sht.backends import SHT_BACKENDS
+from repro.sht.grid import Grid
+from repro.sht.plancache import (
+    clear_plan_cache,
+    get_plan,
+    plan_cache_key,
+    plan_cache_stats,
+)
+from repro.sht.transform import SHTPlan
+from repro.util.registry import UnknownBackendError
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test observes its own hit/miss history."""
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestCacheHits:
+    def test_hit_returns_the_same_plan_object(self):
+        grid = Grid.for_bandlimit(6)
+        first = get_plan("fast", 6, grid)
+        second = get_plan("fast", 6, grid)
+        assert first is second
+        stats = plan_cache_stats()
+        assert stats["size"] == 1 and stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_hit_serves_identical_tables(self):
+        grid = Grid.for_bandlimit(6)
+        plan = get_plan("fast", 6, grid)
+        again = get_plan("fast", 6, grid)
+        fresh = SHTPlan(lmax=6, grid=grid)
+        for ell in range(6):
+            assert again.wigner[ell] is plan.wigner[ell]
+            np.testing.assert_array_equal(again.wigner[ell], fresh.wigner[ell])
+        np.testing.assert_array_equal(again.integral, fresh.integral)
+
+    def test_aliases_share_one_entry(self):
+        grid = Grid.for_bandlimit(5)
+        assert get_plan("fast", 5, grid) is get_plan("fft", 5, grid)
+        assert plan_cache_stats()["size"] == 1
+
+    def test_lookup_is_case_insensitive(self):
+        grid = Grid.for_bandlimit(5)
+        assert get_plan("fast", 5, grid) is get_plan("FAST", 5, grid)
+
+
+class TestCacheKeys:
+    def test_distinct_keys_do_not_collide(self):
+        grid6 = Grid.for_bandlimit(6)
+        grid8 = Grid.for_bandlimit(8)
+        plans = {
+            "fast-6": get_plan("fast", 6, grid6),
+            "fast-8": get_plan("fast", 8, grid8),
+            "fast-6-oversampled": get_plan("fast", 6, grid8),
+            "direct-6": get_plan("direct", 6, grid6),
+        }
+        assert len({id(p) for p in plans.values()}) == len(plans)
+        assert plan_cache_stats()["size"] == len(plans)
+        assert plans["fast-6"].lmax == 6 and plans["fast-8"].lmax == 8
+        assert plans["fast-6-oversampled"].grid == grid8
+
+    def test_key_canonicalises_backend_name(self):
+        grid = Grid.for_bandlimit(4)
+        assert plan_cache_key("FFT", 4, grid) == plan_cache_key("fast", 4, grid)
+        assert plan_cache_key("fast", 4, grid) != plan_cache_key("direct", 4, grid)
+
+    def test_unknown_backend_raises_listing_names(self):
+        with pytest.raises(UnknownBackendError, match="'fast'"):
+            get_plan("nonexistent", 4, Grid.for_bandlimit(4))
+
+    def test_reregistered_backend_misses_stale_entry(self):
+        """overwrite=True registration must not serve the old factory's plan."""
+        grid = Grid.for_bandlimit(4)
+        SHT_BACKENDS.register(
+            "cache-test", lambda lmax, grid: SHTPlan(lmax=lmax, grid=grid),
+            description="test-only", overwrite=True,
+        )
+        try:
+            stale = get_plan("cache-test", 4, grid)
+            SHT_BACKENDS.register(
+                "cache-test", lambda lmax, grid: SHTPlan(lmax=lmax, grid=grid),
+                description="test-only v2", overwrite=True,
+            )
+            fresh = get_plan("cache-test", 4, grid)
+            assert fresh is not stale
+        finally:
+            SHT_BACKENDS.unregister("cache-test")
+
+
+class TestConcurrency:
+    def test_threads_converge_on_one_plan(self):
+        grid = Grid.for_bandlimit(8)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            plans = list(pool.map(
+                lambda _: get_plan("fast", 8, grid), range(16)
+            ))
+        assert all(p is plans[0] for p in plans)
+        assert plan_cache_stats()["size"] == 1
+
+    def test_process_workers_warm_independently(self):
+        """Each worker process builds its own cache (module state is per-process)."""
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            reports = list(pool.map(_warm_and_report, [6, 6]))
+        parent = plan_cache_stats()
+        for report in reports:
+            assert report["pid"] != parent["pid"]
+            # The worker's first build is a miss in its own cache, and the
+            # repeat lookup hits it; nothing leaked into the parent cache.
+            assert report["misses"] >= 1
+            assert report["hits"] >= 1
+        assert parent["size"] == 0
+
+
+def _warm_and_report(lmax: int) -> dict:
+    """Process-pool worker: warm the local cache and report its counters."""
+    grid = Grid.for_bandlimit(lmax)
+    get_plan("fast", lmax, grid)
+    get_plan("fast", lmax, grid)
+    stats = plan_cache_stats()
+    assert stats["pid"] == os.getpid()
+    return stats

@@ -1,0 +1,191 @@
+"""Generate ``docs/api.md`` from the real docstrings.
+
+The reference is *generated, not written*: every entry is the live
+signature plus the live docstring of the exported object, and the
+backend/scenario catalogues are read out of the registries themselves —
+so the document cannot drift from the code.  CI runs ``--check`` to fail
+when ``docs/api.md`` is stale; regenerate with::
+
+    PYTHONPATH=src python tools/gen_api_docs.py
+
+Section anchors are stable on purpose: ``UnknownBackendError`` messages
+point users at ``docs/api.md#sht-backends``, ``#scenarios`` and
+``#cholesky-precision-variants``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+HEADER = """\
+# API reference
+
+*Generated from the package docstrings by `tools/gen_api_docs.py` — do
+not edit by hand; run `PYTHONPATH=src python tools/gen_api_docs.py` to
+regenerate (CI checks that this file is up to date).*
+
+All public entry points live on the top-level `repro` namespace; the
+classes below are re-exported from their home modules.  See
+[`architecture.md`](architecture.md) for how the pieces fit together.
+"""
+
+
+def _doc(obj) -> str:
+    doc = inspect.getdoc(obj) or "(no docstring)"
+    return doc.rstrip()
+
+
+def _signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _entry(qualname: str, obj, *, methods: tuple[str, ...] = ()) -> str:
+    """One reference entry: heading, signature and verbatim docstring."""
+    lines = [f"### `{qualname}`", ""]
+    if inspect.isclass(obj):
+        lines.append(f"```\nclass {qualname}{_signature(obj)}\n```")
+    else:
+        lines.append(f"```\n{qualname}{_signature(obj)}\n```")
+    lines += ["", "```text", _doc(obj), "```", ""]
+    for name in methods:
+        method = getattr(obj, name)
+        lines += [
+            f"#### `{qualname}.{name}`",
+            "",
+            f"```\n{name}{_signature(method)}\n```",
+            "",
+            "```text",
+            _doc(method),
+            "```",
+            "",
+        ]
+    return "\n".join(lines)
+
+
+def _catalogue(registry) -> str:
+    """A registry's live name -> description table."""
+    rows = ["| name | description |", "| --- | --- |"]
+    for name in registry.names():
+        spec = registry.resolve(name)
+        alias = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        rows.append(f"| `{name}`{alias} | {spec.description} |")
+    return "\n".join(rows)
+
+
+def generate() -> str:
+    import repro
+    from repro.api.artifact import EmulatorArtifact
+    from repro.linalg.policies import CHOLESKY_VARIANTS
+    from repro.scenarios.campaign import (
+        CampaignManifest,
+        plan_campaign,
+        run_campaign,
+    )
+    from repro.scenarios.registry import SCENARIOS, list_scenarios, register_scenario
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.sht.plancache import clear_plan_cache, get_plan, plan_cache_stats
+    from repro.storage.accounting import campaign_storage_report
+    from repro.util.registry import BackendRegistry, UnknownBackendError
+
+    parts = [HEADER]
+
+    parts.append("## Facade\n")
+    parts.append(
+        "The five-call workflow: fit once, persist, then emulate anywhere.\n"
+    )
+    for name in ("fit", "save", "load", "emulate", "emulate_stream"):
+        parts.append(_entry(f"repro.{name}", getattr(repro, name)))
+
+    parts.append("## Campaign\n")
+    for qualname, obj in (
+        ("repro.run_campaign", run_campaign),
+        ("repro.scenarios.campaign.plan_campaign", plan_campaign),
+        ("repro.storage.accounting.campaign_storage_report", campaign_storage_report),
+    ):
+        parts.append(_entry(qualname, obj))
+    parts.append(_entry("repro.CampaignManifest", CampaignManifest,
+                        methods=("run", "collected", "to_dict", "save")))
+
+    parts.append("## Artifacts\n")
+    parts.append(_entry("repro.EmulatorArtifact", EmulatorArtifact,
+                        methods=("save", "load", "to_emulator", "nbytes")))
+
+    parts.append("## Registries\n")
+    parts.append(_entry("repro.BackendRegistry", BackendRegistry,
+                        methods=("register", "resolve", "create", "names",
+                                 "describe")))
+    parts.append(_entry("repro.UnknownBackendError", UnknownBackendError))
+
+    parts.append("## SHT backends\n")
+    parts.append(
+        "Named spherical-harmonic-transform implementations, selected via\n"
+        "`EmulatorConfig.sht_method` and resolved through\n"
+        "`repro.SHT_BACKENDS`.  Unknown names raise `UnknownBackendError`\n"
+        "listing this catalogue.\n"
+    )
+    parts.append(_catalogue(repro.SHT_BACKENDS) + "\n")
+    for qualname, obj in (
+        ("repro.get_plan", get_plan),
+        ("repro.plan_cache_stats", plan_cache_stats),
+        ("repro.clear_plan_cache", clear_plan_cache),
+    ):
+        parts.append(_entry(qualname, obj))
+
+    parts.append("## Scenarios\n")
+    parts.append(
+        "Named forcing pathways resolved through `repro.SCENARIOS`; any\n"
+        "registered name works wherever a forcing is accepted\n"
+        "(`annual_forcing=...`, campaign scenario lists).  Unknown names\n"
+        "raise `UnknownBackendError` listing this catalogue.\n"
+    )
+    parts.append(_catalogue(SCENARIOS) + "\n")
+    parts.append(_entry("repro.ScenarioSpec", ScenarioSpec))
+    parts.append(_entry("repro.list_scenarios", list_scenarios))
+    parts.append(_entry("repro.register_scenario", register_scenario))
+
+    parts.append("## Cholesky precision variants\n")
+    parts.append(
+        "Precision policies for the tile Cholesky of the innovation\n"
+        "covariance, selected via `EmulatorConfig.precision_variant` and\n"
+        "resolved through `repro.CHOLESKY_VARIANTS`.\n"
+    )
+    parts.append(_catalogue(CHOLESKY_VARIANTS) + "\n")
+
+    text = "\n".join(parts)
+    return textwrap.dedent(text).rstrip() + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail if docs/api.md is out of date")
+    args = parser.parse_args(argv)
+    target = REPO_ROOT / "docs" / "api.md"
+    text = generate()
+    if args.check:
+        current = target.read_text(encoding="utf-8") if target.exists() else ""
+        if current != text:
+            print("docs/api.md is stale; regenerate with "
+                  "`PYTHONPATH=src python tools/gen_api_docs.py`",
+                  file=sys.stderr)
+            return 1
+        print("docs/api.md is up to date")
+        return 0
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text, encoding="utf-8")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
