@@ -28,8 +28,13 @@ Using Exascale Climate Emulators" (Abdulah et al., SC 2024):
   components summed into named :class:`ScenarioSpec` pathways (resolved
   through the :data:`SCENARIOS` registry) and the sharded
   multi-scenario, multi-realization campaign runner :func:`run_campaign`.
+* :mod:`repro.serving` — the on-demand emulation service: content-addressed
+  :class:`FieldRequest` objects served by :class:`EmulationService` from
+  a bytes-capped chunk cache, an optional persistent
+  :class:`ChunkStore`, or coalesced batched synthesis
+  (built via :func:`serve`).
 * :mod:`repro.storage` — storage accounting behind the "saving petabytes"
-  claims.
+  claims, plus the persistent quantizable :class:`ChunkStore` tier.
 * :mod:`repro.stats` — statistical-consistency diagnostics between
   simulations and emulations.
 
@@ -46,15 +51,21 @@ Quickstart
 ...     n_realizations=5, max_workers=4)
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.core.config import EmulatorConfig
 from repro.core.emulator import ClimateEmulator
+from repro.core.window import SpatialWindow
 from repro.data.ensemble import ClimateEnsemble
 from repro.data.era5_like import Era5LikeConfig, Era5LikeGenerator
 from repro.linalg.policies import CHOLESKY_VARIANTS
 from repro.sht.backends import SHT_BACKENDS
-from repro.sht.plancache import clear_plan_cache, get_plan, plan_cache_stats
+from repro.sht.plancache import (
+    clear_plan_cache,
+    get_plan,
+    plan_cache_stats,
+    set_plan_cache_limit,
+)
 from repro.api.registry import BackendRegistry, UnknownBackendError
 from repro.api.artifact import (
     SCHEMA_VERSION,
@@ -62,28 +73,36 @@ from repro.api.artifact import (
     EmulatorArtifact,
     SchemaVersionError,
 )
-from repro.api.facade import emulate, emulate_stream, fit, load, save
+from repro.api.facade import emulate, emulate_stream, fit, load, save, serve
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.registry import SCENARIOS, list_scenarios, register_scenario
-# Imported after the facade: the campaign runner builds on repro.api.
-from repro.scenarios.campaign import CampaignManifest, run_campaign
+from repro.storage.chunkstore import ChunkStore
+# Imported after the facade: the campaign runner and the serving layer
+# build on repro.api.
+from repro.scenarios.campaign import CampaignManifest, iter_chunk_arrays, run_campaign
+from repro.serving.request import FieldRequest
+from repro.serving.service import EmulationService
 
 __all__ = [
     "ArtifactError",
     "BackendRegistry",
     "CHOLESKY_VARIANTS",
     "CampaignManifest",
+    "ChunkStore",
     "ClimateEmulator",
     "ClimateEnsemble",
+    "EmulationService",
     "EmulatorArtifact",
     "EmulatorConfig",
     "Era5LikeConfig",
     "Era5LikeGenerator",
+    "FieldRequest",
     "SCENARIOS",
     "SCHEMA_VERSION",
     "SHT_BACKENDS",
     "ScenarioSpec",
     "SchemaVersionError",
+    "SpatialWindow",
     "UnknownBackendError",
     "__version__",
     "clear_plan_cache",
@@ -91,10 +110,13 @@ __all__ = [
     "emulate_stream",
     "fit",
     "get_plan",
+    "iter_chunk_arrays",
     "list_scenarios",
     "load",
     "plan_cache_stats",
     "register_scenario",
     "run_campaign",
     "save",
+    "serve",
+    "set_plan_cache_limit",
 ]

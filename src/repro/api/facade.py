@@ -29,8 +29,10 @@ from repro.data.ensemble import ClimateEnsemble
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scenarios.spec import ScenarioSpec
+    from repro.serving.service import EmulationService
+    from repro.storage.chunkstore import ChunkStore
 
-__all__ = ["emulate", "emulate_stream", "fit", "load", "save"]
+__all__ = ["emulate", "emulate_stream", "fit", "load", "save", "serve"]
 
 
 def fit(
@@ -171,4 +173,58 @@ def emulate_stream(
         include_nugget=include_nugget,
         chunk_size=chunk_size,
         batch_size=batch_size,
+    )
+
+
+def serve(
+    source,
+    *,
+    seed: int = 0,
+    # Mirrors repro.serving.service.DEFAULT_CACHE_BYTES (a literal here so
+    # the default does not force an import of the serving layer; pinned
+    # equal by tests).  None means unlimited, exactly as it does on
+    # EmulationService.
+    cache_bytes: "int | None" = 256 * 2**20,
+    store: "ChunkStore | str | os.PathLike | None" = None,
+    **kwargs,
+) -> "EmulationService":
+    """Build an on-demand :class:`EmulationService` over a fitted emulator.
+
+    The service answers :class:`~repro.serving.request.FieldRequest`
+    objects from a bytes-capped chunk cache, an optional persistent
+    :class:`~repro.storage.chunkstore.ChunkStore`, or fresh synthesis —
+    with single-flight locking and same-scenario request coalescing.
+    Realization ``r`` draws from ``SeedSequence(seed, spawn_key=(r,))``,
+    so every served field is a pure function of ``(artifact, seed,
+    request)``; see :mod:`repro.serving.service` for the bit-exactness
+    contract.
+
+    Parameters
+    ----------
+    source:
+        A fitted emulator or an artifact path.
+    seed:
+        Root entropy of the service.
+    cache_bytes:
+        In-memory chunk-cache budget in bytes (default 256 MiB;
+        ``None`` for unlimited).
+    store:
+        A :class:`~repro.storage.chunkstore.ChunkStore`, or a directory
+        path (opened as a lossless float64 store).
+    **kwargs:
+        Remaining :class:`~repro.serving.service.EmulationService`
+        options (``stream_horizon_years``, ``max_streams``).
+    """
+    # Imported lazily: the serving layer sits above the facade.
+    from repro.serving.service import EmulationService
+    from repro.storage.chunkstore import ChunkStore
+
+    if store is not None and not isinstance(store, ChunkStore):
+        store = ChunkStore(store)
+    return EmulationService(
+        source,
+        seed=seed,
+        cache_bytes=cache_bytes,
+        store=store,
+        **kwargs,
     )

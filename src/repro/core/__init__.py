@@ -21,6 +21,8 @@ Modules
   VAR, innovation covariance, Cholesky).
 * :mod:`repro.core.generator` — emulation generation (Section III-B).
 * :mod:`repro.core.emulator` — the end-to-end :class:`ClimateEmulator` API.
+* :mod:`repro.core.window` — windowed (lat/lon) extraction from emulated
+  chunks, used by the serving layer.
 * :mod:`repro.core.complexity` — the emulator-design cost model behind
   Fig. 1.
 """
@@ -32,6 +34,7 @@ from repro.core.var import DiagonalVAR
 from repro.core.spectral_model import SpectralStochasticModel
 from repro.core.generator import EmulationGenerator
 from repro.core.emulator import ClimateEmulator
+from repro.core.window import SpatialWindow
 
 __all__ = [
     "ClimateEmulator",
@@ -40,6 +43,7 @@ __all__ = [
     "EmulatorConfig",
     "MeanTrendModel",
     "ScaleField",
+    "SpatialWindow",
     "SpectralStochasticModel",
     "TrendFit",
 ]

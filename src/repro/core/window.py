@@ -1,0 +1,163 @@
+"""Windowed extraction from emulated chunks.
+
+The serving layer caches *full-grid* year chunks (so every request shape
+shares one cache entry per year) and cuts the requested lat/lon window
+out at assembly time.  :class:`SpatialWindow` is that cut: a pair of
+half-open index ranges over the trailing ``(ntheta, nphi)`` axes of any
+field array, validated against a :class:`~repro.sht.grid.Grid` and
+serialisable like every other request component, so a window travels
+inside the request content-address.
+
+Windows are index-based on purpose — indices are exact and
+grid-resolution independent in meaning, which keeps request addresses
+deterministic.  :meth:`SpatialWindow.from_degrees` converts a
+latitude/longitude box to index ranges for a concrete grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sht.grid import Grid
+
+__all__ = ["SpatialWindow"]
+
+
+def _normalize(name: str, rng) -> "tuple[int, int] | None":
+    if rng is None:
+        return None
+    start, stop = (int(v) for v in rng)
+    if start < 0 or stop <= start:
+        raise ValueError(
+            f"{name} window must satisfy 0 <= start < stop, got ({start}, {stop})"
+        )
+    return (start, stop)
+
+
+@dataclass(frozen=True)
+class SpatialWindow:
+    """A half-open index window over the trailing ``(ntheta, nphi)`` axes.
+
+    Parameters
+    ----------
+    lat:
+        ``(start, stop)`` range of colatitude rows (row 0 is the north
+        pole), or ``None`` for all rows.
+    lon:
+        ``(start, stop)`` range of longitude columns (column 0 is
+        ``phi = 0``), or ``None`` for all columns.  Ranges do not wrap.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> window = SpatialWindow(lat=(1, 3), lon=(0, 2))
+    >>> window.extract(np.arange(24.0).reshape(1, 4, 6)).shape
+    (1, 2, 2)
+    """
+
+    lat: "tuple[int, int] | None" = None
+    lon: "tuple[int, int] | None" = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lat", _normalize("lat", self.lat))
+        object.__setattr__(self, "lon", _normalize("lon", self.lon))
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_degrees(
+        cls,
+        grid: Grid,
+        lat_range: "tuple[float, float] | None" = None,
+        lon_range: "tuple[float, float] | None" = None,
+    ) -> "SpatialWindow":
+        """The index window covering a latitude/longitude box on ``grid``.
+
+        ``lat_range`` is ``(south, north)`` in degrees (order-insensitive);
+        ``lon_range`` is ``(west, east)`` in degrees within ``[0, 360)``
+        with ``west < east`` (wrap-around boxes are not supported).  Grid
+        points lying inside the closed box are selected — with a
+        nanodegree tolerance, so coordinates that land on box edges up to
+        float rounding (e.g. the 30-degree row of a 10-degree grid) are
+        included; an empty selection raises ``ValueError``.
+        """
+        tol = 1e-9
+        lat = lon = None
+        if lat_range is not None:
+            lo, hi = sorted(float(v) for v in lat_range)
+            rows = np.nonzero(
+                (grid.latitudes >= lo - tol) & (grid.latitudes <= hi + tol)
+            )[0]
+            if rows.size == 0:
+                raise ValueError(f"no grid rows in latitude range ({lo}, {hi})")
+            lat = (int(rows[0]), int(rows[-1]) + 1)
+        if lon_range is not None:
+            lo, hi = (float(v) for v in lon_range)
+            if not lo < hi:
+                raise ValueError(
+                    f"lon_range must satisfy west < east (no wrap-around), "
+                    f"got ({lo}, {hi})"
+                )
+            cols = np.nonzero(
+                (grid.longitudes_deg >= lo - tol) & (grid.longitudes_deg <= hi + tol)
+            )[0]
+            if cols.size == 0:
+                raise ValueError(f"no grid columns in longitude range ({lo}, {hi})")
+            lon = (int(cols[0]), int(cols[-1]) + 1)
+        return cls(lat=lat, lon=lon)
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+    @property
+    def is_full(self) -> bool:
+        """Whether the window selects the entire grid."""
+        return self.lat is None and self.lon is None
+
+    def validate_for(self, grid: Grid) -> None:
+        """Raise ``ValueError`` unless the window fits inside ``grid``."""
+        if self.lat is not None and self.lat[1] > grid.ntheta:
+            raise ValueError(
+                f"lat window {self.lat} exceeds grid ntheta={grid.ntheta}"
+            )
+        if self.lon is not None and self.lon[1] > grid.nphi:
+            raise ValueError(
+                f"lon window {self.lon} exceeds grid nphi={grid.nphi}"
+            )
+
+    def shape_on(self, grid: Grid) -> tuple[int, int]:
+        """The windowed ``(nlat, nlon)`` shape on ``grid``."""
+        self.validate_for(grid)
+        lat = self.lat or (0, grid.ntheta)
+        lon = self.lon or (0, grid.nphi)
+        return (lat[1] - lat[0], lon[1] - lon[0])
+
+    def extract(self, fields: np.ndarray) -> np.ndarray:
+        """The window of ``fields`` (a view) over its trailing two axes."""
+        fields = np.asarray(fields)
+        if fields.ndim < 2:
+            raise ValueError("fields must have at least 2 dimensions")
+        lat = slice(*self.lat) if self.lat is not None else slice(None)
+        lon = slice(*self.lon) if self.lon is not None else slice(None)
+        return fields[..., lat, lon]
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """JSON-able state from which :meth:`from_state` rebuilds the window."""
+        return {
+            "lat": list(self.lat) if self.lat is not None else None,
+            "lon": list(self.lon) if self.lon is not None else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SpatialWindow":
+        """Rebuild a window from :meth:`state_dict` output."""
+        return cls(
+            lat=tuple(state["lat"]) if state.get("lat") is not None else None,
+            lon=tuple(state["lon"]) if state.get("lon") is not None else None,
+        )

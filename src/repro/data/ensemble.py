@@ -108,6 +108,16 @@ class ClimateEnsemble:
             metadata=dict(self.metadata),
         )
 
+    def window(self, window) -> np.ndarray:
+        """Fields restricted to a :class:`~repro.core.window.SpatialWindow`.
+
+        Returns a view of shape ``(R, T, nlat, nlon)``; the window is
+        validated against this ensemble's grid.  (A plain array, not an
+        ensemble: a windowed region is no longer a global grid.)
+        """
+        window.validate_for(self.grid)
+        return window.extract(self.data)
+
     def ensemble_mean(self) -> np.ndarray:
         """Mean over ensemble members, shape ``(T, ntheta, nphi)``."""
         return self.data.mean(axis=0)

@@ -44,6 +44,7 @@ from repro.scenarios.registry import (
     list_scenarios,
     register_scenario,
     resolve_scenario,
+    resolve_scenario_state,
 )
 
 __all__ = [
@@ -60,10 +61,12 @@ __all__ = [
     "Stabilisation",
     "VolcanicEruption",
     "component_from_state",
+    "iter_chunk_arrays",
     "list_scenarios",
     "plan_campaign",
     "register_scenario",
     "resolve_scenario",
+    "resolve_scenario_state",
     "run_campaign",
 ]
 
@@ -71,6 +74,7 @@ _CAMPAIGN_EXPORTS = {
     "CampaignManifest",
     "CampaignRunPlan",
     "CampaignRunRecord",
+    "iter_chunk_arrays",
     "plan_campaign",
     "run_campaign",
 }

@@ -50,6 +50,7 @@ __all__ = [
     "CampaignManifest",
     "CampaignRunPlan",
     "CampaignRunRecord",
+    "iter_chunk_arrays",
     "plan_campaign",
     "run_campaign",
 ]
@@ -64,7 +65,14 @@ def _slug(name: str) -> str:
 
 @dataclass(frozen=True)
 class CampaignRunPlan:
-    """Everything one worker needs to execute one campaign run."""
+    """Everything one worker needs to execute one campaign run.
+
+    ``index_width`` / ``chunk_width`` are the zero-padding widths of the
+    output chunk filenames, computed by :func:`plan_campaign` from the
+    campaign's actual run and chunk counts (never below the historical
+    3/4 digits) so lexicographic filename order equals execution order
+    even for campaigns beyond 1000 runs or 10000 chunks.
+    """
 
     index: int
     scenario: str
@@ -76,6 +84,8 @@ class CampaignRunPlan:
     include_nugget: bool
     collect: str
     output_dir: str | None
+    index_width: int = 3
+    chunk_width: int = 4
 
     @property
     def spawn_key(self) -> tuple[int, ...]:
@@ -223,7 +233,13 @@ def plan_campaign(
     if collect not in _COLLECT_MODES:
         raise ValueError(f"collect must be one of {_COLLECT_MODES}, got {collect!r}")
     n_years = -(-int(n_times) // int(steps_per_year))
-    children = np.random.SeedSequence(seed).spawn(len(specs) * n_realizations)
+    n_runs = len(specs) * n_realizations
+    n_chunks = -(-int(n_times) // int(chunk_size))
+    # Padding widths sized to the campaign (floors keep historical names
+    # stable): a 12000-run or 20000-chunk campaign still sorts correctly.
+    index_width = max(3, len(str(n_runs - 1)))
+    chunk_width = max(4, len(str(n_chunks - 1)))
+    children = np.random.SeedSequence(seed).spawn(n_runs)
     out_dir = None if output_dir is None else os.fspath(output_dir)
     plans: list[CampaignRunPlan] = []
     for spec in specs:
@@ -241,6 +257,8 @@ def plan_campaign(
                 include_nugget=include_nugget,
                 collect=collect,
                 output_dir=out_dir,
+                index_width=index_width,
+                chunk_width=chunk_width,
             ))
     return plans
 
@@ -272,9 +290,12 @@ class _RunAccumulator:
         elif plan.collect == "fields":
             self.collected_parts.append(member[0])
         if plan.output_dir is not None:
+            # The run index alone makes the name unique (scenario slugs can
+            # collide after sanitisation; realizations repeat across
+            # scenarios); the slug and realization are readability only.
             name = (
-                f"run{plan.index:03d}_{_slug(plan.scenario)}"
-                f"_r{plan.realization}_chunk{j:04d}.npz"
+                f"run{plan.index:0{plan.index_width}d}_{_slug(plan.scenario)}"
+                f"_r{plan.realization}_chunk{j:0{plan.chunk_width}d}.npz"
             )
             path = os.path.join(plan.output_dir, name)
             np.savez(
@@ -402,6 +423,57 @@ def _execute_batch_in_process(
     if emulator is None:
         emulator = _WORKER_EMULATORS[key] = _resolve_emulator(source)
     return _execute_batch(emulator, plans)
+
+
+def iter_chunk_arrays(manifest):
+    """Load the NPZ chunk shards of a campaign back, manifest-driven.
+
+    Yields ``(run, member)`` for every run that wrote output files:
+    ``run`` is the manifest's run entry (a :class:`CampaignRunRecord`,
+    or a plain dict when iterating a JSON-loaded manifest) and
+    ``member`` is the run's reassembled ``float32`` field array of shape
+    ``(n_times, ntheta, nphi)``.  Chunks are ordered by their recorded
+    ``t_start`` (not by filename parsing) and validated to tile the run
+    contiguously, so a missing or truncated shard raises instead of
+    silently yielding a gapped record.
+
+    Parameters
+    ----------
+    manifest:
+        A :class:`CampaignManifest`, its :meth:`CampaignManifest.to_dict`
+        form, or a JSON-loaded manifest document.
+    """
+    runs = manifest["runs"] if isinstance(manifest, dict) else manifest.runs
+    for run in runs:
+        if isinstance(run, dict):
+            files = [str(f) for f in run.get("output_files", [])]
+            n_times = int(run["n_times"])
+            label = f"run {run['index']} ({run['scenario']!r}, r{run['realization']})"
+        else:
+            files = list(run.output_files)
+            n_times = int(run.n_times)
+            label = f"run {run.index} ({run.scenario!r}, r{run.realization})"
+        if not files:
+            continue
+        parts: list[tuple[int, np.ndarray]] = []
+        for path in files:
+            with np.load(path) as payload:
+                parts.append((int(payload["t_start"]), np.asarray(payload["data"][0])))
+        parts.sort(key=lambda item: item[0])
+        expected = 0
+        for t_start, data in parts:
+            if t_start != expected:
+                raise ValueError(
+                    f"{label}: chunk at t_start={t_start} does not continue "
+                    f"the record (expected t_start={expected}); a shard is "
+                    f"missing or duplicated"
+                )
+            expected += data.shape[0]
+        if expected != n_times:
+            raise ValueError(
+                f"{label}: chunks cover {expected} of {n_times} time steps"
+            )
+        yield run, np.concatenate([data for _, data in parts], axis=0)
 
 
 def run_campaign(

@@ -26,7 +26,13 @@ from repro.scenarios.components import (
 from repro.scenarios.spec import ScenarioSpec
 from repro.util.registry import BackendRegistry
 
-__all__ = ["SCENARIOS", "list_scenarios", "register_scenario", "resolve_scenario"]
+__all__ = [
+    "SCENARIOS",
+    "list_scenarios",
+    "register_scenario",
+    "resolve_scenario",
+    "resolve_scenario_state",
+]
 
 #: Registry of named forcing pathways (factories returning ScenarioSpec).
 SCENARIOS = BackendRegistry("forcing scenario", doc_hint="docs/api.md#scenarios")
@@ -77,6 +83,21 @@ def resolve_scenario(scenario, start_level: float = 2.5) -> ScenarioSpec:
             f"expected ScenarioSpec"
         )
     return spec
+
+
+def resolve_scenario_state(scenario, start_level: float = 2.5) -> dict:
+    """The canonical, JSON-able state of a scenario reference.
+
+    Request addressing (:meth:`repro.serving.FieldRequest.address
+    <repro.serving.request.FieldRequest.address>`) must give one address to
+    every spelling of the same pathway — a registered name, an alias, or
+    the :class:`ScenarioSpec` those resolve to.  This helper is that
+    normalisation: resolve through the registry (names and aliases land
+    on the same spec at the same ``start_level``) and return the spec's
+    ``state_dict()``, which is a pure function of the pathway's
+    components.
+    """
+    return resolve_scenario(scenario, start_level=start_level).state_dict()
 
 
 def list_scenarios() -> dict[str, str]:

@@ -1,0 +1,22 @@
+"""On-demand emulation serving.
+
+The serving layer answers *requests for fields* instead of commands to
+emulate: a frozen, content-addressed :class:`FieldRequest` names what is
+wanted (scenario, realization, year range, optional spatial window) and
+:class:`EmulationService` serves it from the cheapest tier that has it —
+an in-process bytes-capped LRU of model-year chunks, an optional
+persistent :class:`~repro.storage.chunkstore.ChunkStore`, or synthesis
+through the batched streaming path (single-flight + same-scenario
+coalescing).  ``repro.serve(...)`` on the facade builds a service in one
+call.
+"""
+
+from repro.serving.request import FieldRequest, chunk_address
+from repro.serving.service import DEFAULT_CACHE_BYTES, EmulationService
+
+__all__ = [
+    "DEFAULT_CACHE_BYTES",
+    "EmulationService",
+    "FieldRequest",
+    "chunk_address",
+]

@@ -29,10 +29,14 @@ key (the first finished build wins; see :func:`get_plan`).
 Cached plans are shared, so they must be treated as **read-only**; the
 built-in backends never mutate a plan after construction, and custom
 backends registered with ``SHT_BACKENDS.register`` must follow the same
-contract to be cacheable.  The cache is unbounded — the key space
-(backends x band-limits x grids actually in use) is tiny in practice —
-and :func:`clear_plan_cache` empties it explicitly (tests, memory-pressure
-handling).
+contract to be cacheable.  The cache is unlimited by default — the key
+space (backends x band-limits x grids actually in use) is tiny in
+practice — but long-lived serving processes that touch many band-limits
+can cap it: :func:`set_plan_cache_limit` installs a bytes budget under
+which least-recently-used plans are evicted (eviction counts surface in
+:func:`plan_cache_stats`), and :func:`clear_plan_cache` empties the
+cache explicitly (tests, memory-pressure handling).  An evicted plan is
+simply rebuilt on next use; nothing holds dangling references.
 """
 
 from __future__ import annotations
@@ -40,15 +44,87 @@ from __future__ import annotations
 import os
 import threading
 
+import numpy as np
+
 from repro.sht.backends import SHT_BACKENDS
 from repro.sht.grid import Grid
 
-__all__ = ["clear_plan_cache", "get_plan", "plan_cache_key", "plan_cache_stats"]
+__all__ = [
+    "clear_plan_cache",
+    "get_plan",
+    "plan_cache_key",
+    "plan_cache_stats",
+    "set_plan_cache_limit",
+]
 
 _LOCK = threading.Lock()
 _CACHE: dict[tuple, object] = {}
 _HITS = 0
 _MISSES = 0
+_EVICTIONS = 0
+_LIMIT_BYTES: "int | None" = None
+
+
+def _plan_nbytes(plan) -> int:
+    """Approximate resident bytes of a plan: its reachable ndarrays.
+
+    Walks the plan's ``__dict__`` one container level deep (arrays plus
+    lists/tuples/dicts of arrays), which covers every table the built-in
+    plans hold — including lazily built operator lists, so a plan's
+    measured size grows once those materialise.
+    """
+    total = 0
+    for value in vars(plan).values():
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+        elif isinstance(value, dict):
+            total += sum(
+                v.nbytes for v in value.values() if isinstance(v, np.ndarray)
+            )
+        elif isinstance(value, (list, tuple)):
+            total += sum(v.nbytes for v in value if isinstance(v, np.ndarray))
+    return total
+
+
+def _evict_over_limit_locked(keep: "tuple | None") -> None:
+    """Drop least-recently-used plans until the cache fits the limit.
+
+    ``keep`` (the key just served) is evicted last — only when it alone
+    exceeds the whole budget — so the caller's plan is never churned out
+    by its own insertion.  Plan sizes are re-measured on every pass
+    because lazily built tables grow plans after insertion.
+    """
+    global _EVICTIONS
+    if _LIMIT_BYTES is None:
+        return
+    while _CACHE:
+        sizes = {key: _plan_nbytes(plan) for key, plan in _CACHE.items()}
+        if sum(sizes.values()) <= _LIMIT_BYTES:
+            return
+        victims = [key for key in _CACHE if key != keep]
+        if not victims:
+            return
+        del _CACHE[victims[0]]
+        _EVICTIONS += 1
+
+
+def set_plan_cache_limit(max_bytes: "int | None") -> None:
+    """Install (or remove) a bytes budget on the plan cache.
+
+    ``None`` (the default) keeps the cache unlimited — existing
+    behaviour is unchanged unless a limit is set.  With a limit,
+    least-recently-used plans are evicted whenever the measured total
+    (see :func:`plan_cache_stats` ``"bytes"``) exceeds the budget; the
+    most-recently-served plan survives even if it alone is over budget,
+    so a single oversized plan still serves.  Eviction counts accumulate
+    in :func:`plan_cache_stats` ``"evictions"``.
+    """
+    global _LIMIT_BYTES
+    if max_bytes is not None and int(max_bytes) < 0:
+        raise ValueError(f"max_bytes must be >= 0 or None, got {max_bytes}")
+    with _LOCK:
+        _LIMIT_BYTES = None if max_bytes is None else int(max_bytes)
+        _evict_over_limit_locked(keep=None)
 
 
 def plan_cache_key(sht_method: str, lmax: int, grid: Grid) -> tuple:
@@ -97,38 +173,59 @@ def get_plan(sht_method: str, lmax: int, grid: Grid):
         plan = _CACHE.get(key)
         if plan is not None:
             _HITS += 1
+            # Dicts preserve insertion order; re-inserting keeps the
+            # cache LRU-ordered for the bytes-limit eviction policy.
+            del _CACHE[key]
+            _CACHE[key] = plan
+            if _LIMIT_BYTES is not None:
+                # Plans grow after insertion (lazily built operator
+                # tables), so the budget is re-checked on hits too.
+                _evict_over_limit_locked(keep=key)
             return plan
     built = SHT_BACKENDS.resolve(sht_method).factory(lmax=lmax, grid=grid)
     with _LOCK:
         plan = _CACHE.setdefault(key, built)
         if plan is built:
             _MISSES += 1
+            _evict_over_limit_locked(keep=key)
         else:
             _HITS += 1
     return plan
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan and reset the hit/miss counters."""
-    global _HITS, _MISSES
+    """Drop every cached plan and reset the hit/miss/eviction counters.
+
+    The bytes limit installed by :func:`set_plan_cache_limit` is
+    configuration, not contents: it survives a clear.
+    """
+    global _HITS, _MISSES, _EVICTIONS
     with _LOCK:
         _CACHE.clear()
         _HITS = 0
         _MISSES = 0
+        _EVICTIONS = 0
 
 
 def plan_cache_stats() -> dict:
-    """Cache observability: ``{"size", "hits", "misses", "pid", "keys"}``.
+    """Cache observability: size, bytes, hit/miss/eviction counters.
 
     ``pid`` makes per-process warm-up visible in campaign workers (each
     worker process reports its own counters); ``keys`` lists the cached
-    ``(backend, revision, lmax, ntheta, nphi)`` tuples.
+    ``(backend, revision, lmax, ntheta, nphi)`` tuples in LRU-to-MRU
+    order; ``bytes`` is the measured ndarray footprint of every cached
+    plan and ``limit_bytes``/``evictions`` describe the optional budget
+    (see :func:`set_plan_cache_limit`; ``limit_bytes`` is ``None`` when
+    unlimited).
     """
     with _LOCK:
         return {
             "size": len(_CACHE),
+            "bytes": sum(_plan_nbytes(plan) for plan in _CACHE.values()),
             "hits": _HITS,
             "misses": _MISSES,
+            "evictions": _EVICTIONS,
+            "limit_bytes": _LIMIT_BYTES,
             "pid": os.getpid(),
-            "keys": sorted(_CACHE),
+            "keys": list(_CACHE),
         }

@@ -26,6 +26,7 @@ __all__ = [
     "emulator_parameter_bytes",
     "measured_artifact_report",
     "savings_report",
+    "serving_storage_report",
     "format_bytes",
 ]
 
@@ -203,6 +204,37 @@ def campaign_storage_report(manifest) -> dict:
         "boost_factor": total / artifact if artifact else float("inf"),
         "output_bytes_per_run": total / n_runs if n_runs else 0.0,
     }
+
+
+def serving_storage_report(service) -> dict:
+    """The "boosting" arithmetic for an on-demand emulation service.
+
+    :func:`campaign_storage_report` measures a batch replay; this is the
+    serving-side counterpart: the measured ``float64`` bytes an
+    :class:`~repro.serving.service.EmulationService` (or its ``stats()``
+    dict) has *served* against the bytes of the artifact it serves from
+    — the live version of the paper's artifact-to-output boost factor.
+    When a persistent :class:`~repro.storage.chunkstore.ChunkStore` is
+    attached, its encoded footprint and measured quantization error are
+    included, so the report quantifies the full storage ladder:
+    artifact < chunk shards < served output.
+    """
+    stats = service if isinstance(service, dict) else service.stats()
+    served = int(stats["served_bytes"])
+    artifact = int(stats.get("artifact_bytes", 0))
+    synthesized = int(stats["synthesis"]["chunks"])
+    store = stats.get("store")
+    report = {
+        "requests": int(stats["requests"]),
+        "served_bytes": served,
+        "artifact_bytes": artifact,
+        "boost_factor": served / artifact if artifact else float("inf"),
+        "synthesized_chunks": synthesized,
+        "store_encoded_bytes": int(store["encoded_bytes"]) if store else 0,
+        "store_lossless": bool(store["lossless"]) if store else True,
+        "store_max_abs_error": float(store["max_abs_error"]) if store else 0.0,
+    }
+    return report
 
 
 def format_bytes(nbytes: float) -> str:

@@ -1,0 +1,334 @@
+"""Persistent, manifest-indexed store of content-addressed field chunks.
+
+The serving layer's third tier (after the in-process LRU and synthesis):
+a directory of NPZ shards keyed by chunk content-address, indexed by a
+single ``manifest.json``.  A chunk written once is served forever without
+re-synthesis — across processes and restarts — which is what turns the
+emulator artifact into a *persistent* output cache rather than a purely
+in-memory one.
+
+Three encodings trade bytes for fidelity:
+
+* ``"float64"`` (default) — bit-lossless: ``get`` returns exactly the
+  array that was ``put``, preserving the service's bit-exactness
+  contract through the persistent tier.
+* ``"float32"`` — half the bytes; round-trip error is float32 rounding
+  (measured per chunk and recorded in the manifest).
+* ``"int16"`` — opt-in quantized tier: values are stored as
+  ``int16`` with a per-chunk ``scale``/``offset`` (midrange/halfrange
+  affine map), a quarter of the float64 bytes.  The *measured* maximum
+  absolute reconstruction error of every chunk is recorded in the
+  manifest, so consumers can report exactly how lossy the tier is.
+
+A store has one encoding for its whole lifetime (recorded in the
+manifest; reopening with a different one raises), decodes every ``get``
+back to ``float64``, and is safe for concurrent use within a process
+(one lock around manifest and file mutation).  Shard writes go through a
+temporary file + ``os.replace`` so a crash never leaves a truncated
+shard behind a manifest entry.
+
+Across processes the store is *merge-on-write*: every manifest write
+re-reads the on-disk manifest and unions its entries first, so two
+services writing into one directory converge on the superset of their
+chunks (entries are content-addressed and immutable, making the union
+safe).  There is no cross-process file lock, so a reader only observes
+entries present at its last manifest (re)load — reopen the store to see
+chunks another process added since.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+
+import numpy as np
+
+__all__ = ["ChunkStore", "CHUNK_ENCODINGS"]
+
+#: Supported chunk encodings, lossless first.
+CHUNK_ENCODINGS = ("float64", "float32", "int16")
+
+_MANIFEST_SCHEMA = 1
+
+
+def _encode(array: np.ndarray, encoding: str):
+    """Encode a float64 array; returns ``(payload, scale, offset, max_abs_error)``."""
+    array = np.asarray(array, dtype=np.float64)
+    if encoding == "float64":
+        return array, None, None, 0.0
+    if encoding == "float32":
+        encoded = array.astype(np.float32)
+        err = float(np.max(np.abs(encoded.astype(np.float64) - array))) if array.size else 0.0
+        return encoded, None, None, err
+    if encoding == "int16":
+        lo = float(array.min()) if array.size else 0.0
+        hi = float(array.max()) if array.size else 0.0
+        offset = 0.5 * (hi + lo)
+        half = 0.5 * (hi - lo)
+        scale = half / 32767.0 if half > 0.0 else 1.0
+        encoded = np.round((array - offset) / scale).astype(np.int16)
+        decoded = encoded.astype(np.float64) * scale + offset
+        err = float(np.max(np.abs(decoded - array))) if array.size else 0.0
+        return encoded, scale, offset, err
+    raise ValueError(
+        f"unknown chunk encoding {encoding!r}; expected one of {CHUNK_ENCODINGS}"
+    )
+
+
+def _decode(payload: np.ndarray, scale, offset) -> np.ndarray:
+    """Decode a stored payload back to float64."""
+    if payload.dtype == np.int16:
+        return payload.astype(np.float64) * float(scale) + float(offset)
+    return payload.astype(np.float64)
+
+
+class ChunkStore:
+    """Read-through / write-through persistent tier for served chunks.
+
+    Parameters
+    ----------
+    root:
+        Directory of the store (created if missing).  Holds
+        ``manifest.json`` plus shard files under ``chunks/``.
+    encoding:
+        One of :data:`CHUNK_ENCODINGS`.  ``"float64"`` is lossless;
+        ``"int16"`` is the opt-in quantized tier (4x smaller, measured
+        ``max_abs_error`` recorded per chunk).  Reopening an existing
+        store with a different encoding raises ``ValueError``.
+
+    Examples
+    --------
+    >>> import numpy as np, tempfile
+    >>> store = ChunkStore(tempfile.mkdtemp(), encoding="float64")
+    >>> entry = store.put("abc123", np.ones((2, 3)))
+    >>> bool(np.array_equal(store.get("abc123"), np.ones((2, 3))))
+    True
+    """
+
+    def __init__(self, root: "str | os.PathLike", encoding: str = "float64"):
+        if encoding not in CHUNK_ENCODINGS:
+            raise ValueError(
+                f"unknown chunk encoding {encoding!r}; expected one of {CHUNK_ENCODINGS}"
+            )
+        self.root = os.fspath(root)
+        self.encoding = str(encoding)
+        self._lock = threading.Lock()
+        self._manifest_path = os.path.join(self.root, "manifest.json")
+        os.makedirs(os.path.join(self.root, "chunks"), exist_ok=True)
+        self._chunks: dict[str, dict] = {}
+        if os.path.exists(self._manifest_path):
+            with open(self._manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            if manifest.get("schema") != _MANIFEST_SCHEMA:
+                raise ValueError(
+                    f"unsupported chunk-store manifest schema "
+                    f"{manifest.get('schema')!r} at {self._manifest_path}"
+                )
+            if manifest.get("encoding") != self.encoding:
+                raise ValueError(
+                    f"store at {self.root} was created with encoding "
+                    f"{manifest.get('encoding')!r}; reopen with that encoding "
+                    f"instead of {self.encoding!r}"
+                )
+            self._chunks = dict(manifest.get("chunks", {}))
+        else:
+            self._write_manifest_locked()
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def lossless(self) -> bool:
+        """Whether ``get`` returns bit-identical arrays (float64 encoding)."""
+        return self.encoding == "float64"
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._chunks)
+
+    def __contains__(self, address: str) -> bool:
+        with self._lock:
+            return str(address) in self._chunks
+
+    def addresses(self) -> list[str]:
+        """Every stored chunk address, sorted."""
+        with self._lock:
+            return sorted(self._chunks)
+
+    # ------------------------------------------------------------------ #
+    # Read / write
+    # ------------------------------------------------------------------ #
+    def _shard_path(self, address: str) -> str:
+        return os.path.join(self.root, "chunks", address[:2], f"{address}.npz")
+
+    def _write_manifest_locked(self) -> None:
+        # Merge-on-write: union entries another process may have added
+        # since our last load.  Entries are content-addressed and
+        # immutable, so the union is always safe; our own entries win a
+        # (byte-identical) collision.
+        if os.path.exists(self._manifest_path):
+            try:
+                with open(self._manifest_path, "r", encoding="utf-8") as handle:
+                    on_disk = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                on_disk = {}
+            if (
+                on_disk.get("schema") == _MANIFEST_SCHEMA
+                and on_disk.get("encoding") == self.encoding
+            ):
+                merged = dict(on_disk.get("chunks", {}))
+                merged.update(self._chunks)
+                self._chunks = merged
+        manifest = {
+            "schema": _MANIFEST_SCHEMA,
+            "encoding": self.encoding,
+            "chunks": self._chunks,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".manifest-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, sort_keys=True)
+            os.replace(tmp, self._manifest_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _write_shard(self, address: str, array: np.ndarray) -> dict:
+        """Encode and write one shard file; returns its manifest entry."""
+        array = np.asarray(array, dtype=np.float64)
+        payload, scale, offset, err = _encode(array, self.encoding)
+        path = self._shard_path(address)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".shard-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                if scale is None:
+                    np.savez(handle, data=payload)
+                else:
+                    np.savez(handle, data=payload, scale=scale, offset=offset)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        entry = {
+            "file": os.path.relpath(path, self.root),
+            "shape": [int(s) for s in array.shape],
+            "encoding": self.encoding,
+            "encoded_bytes": int(payload.nbytes),
+            "decoded_bytes": int(array.nbytes),
+            "max_abs_error": float(err),
+        }
+        if scale is not None:
+            entry["scale"] = float(scale)
+            entry["offset"] = float(offset)
+        return entry
+
+    def put(self, address: str, array: np.ndarray) -> dict:
+        """Persist one chunk; returns its manifest entry.
+
+        Idempotent: an address already in the store is left untouched
+        (content addresses make re-encoding pointless), so concurrent
+        writers of the same chunk cannot corrupt each other.  For many
+        chunks at once prefer :meth:`put_many`, which writes the
+        manifest a single time.
+        """
+        address = str(address)
+        with self._lock:
+            entry = self._chunks.get(address)
+            if entry is not None:
+                return dict(entry)
+        entry = self._write_shard(address, array)
+        with self._lock:
+            # First writer wins; a concurrent identical put raced us to the
+            # same content, so either entry is correct.
+            entry = self._chunks.setdefault(address, entry)
+            self._write_manifest_locked()
+            return dict(entry)
+
+    def put_many(self, chunks: "dict[str, np.ndarray]") -> int:
+        """Persist a batch of chunks with one manifest write.
+
+        The manifest is O(stored chunks) to serialise, so per-chunk
+        writes would cost O(N^2) over a store's lifetime; the serving
+        write-through path lands every synthesis flight through this
+        batched form instead.  Returns the number of chunks actually
+        written (addresses already present are skipped).
+        """
+        with self._lock:
+            pending = {
+                str(address): array
+                for address, array in chunks.items()
+                if str(address) not in self._chunks
+            }
+        if not pending:
+            return 0
+        entries = {
+            address: self._write_shard(address, array)
+            for address, array in pending.items()
+        }
+        with self._lock:
+            written = 0
+            for address, entry in entries.items():
+                if self._chunks.setdefault(address, entry) is entry:
+                    written += 1
+            self._write_manifest_locked()
+            return written
+
+    def get(self, address: str) -> "np.ndarray | None":
+        """The decoded ``float64`` chunk, or ``None`` if absent."""
+        address = str(address)
+        with self._lock:
+            entry = self._chunks.get(address)
+            if entry is None:
+                return None
+            path = os.path.join(self.root, entry["file"])
+        with np.load(path) as payload:
+            return _decode(
+                payload["data"],
+                payload["scale"] if "scale" in payload else None,
+                payload["offset"] if "offset" in payload else None,
+            )
+
+    def entry(self, address: str) -> "dict | None":
+        """The manifest entry of a chunk (shape, bytes, error), or ``None``."""
+        with self._lock:
+            entry = self._chunks.get(str(address))
+            return dict(entry) if entry is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def max_abs_error(self) -> float:
+        """Largest measured reconstruction error across stored chunks.
+
+        Exactly ``0.0`` for a lossless (float64) store; the quantized
+        tier's honest error bound otherwise.
+        """
+        with self._lock:
+            if not self._chunks:
+                return 0.0
+            return max(float(e["max_abs_error"]) for e in self._chunks.values())
+
+    def stats(self) -> dict:
+        """Store observability: chunk count, byte totals, encoding, error."""
+        with self._lock:
+            encoded = sum(int(e["encoded_bytes"]) for e in self._chunks.values())
+            decoded = sum(int(e["decoded_bytes"]) for e in self._chunks.values())
+            err = max(
+                (float(e["max_abs_error"]) for e in self._chunks.values()),
+                default=0.0,
+            )
+            return {
+                "root": self.root,
+                "encoding": self.encoding,
+                "lossless": self.lossless,
+                "n_chunks": len(self._chunks),
+                "encoded_bytes": encoded,
+                "decoded_bytes": decoded,
+                "compression_factor": decoded / encoded if encoded else float("inf"),
+                "max_abs_error": err,
+            }

@@ -1,0 +1,88 @@
+"""Tests of windowed chunk extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.window import SpatialWindow
+from repro.sht.grid import Grid
+
+
+class TestValidation:
+    def test_rejects_empty_or_negative_ranges(self):
+        with pytest.raises(ValueError, match="lat"):
+            SpatialWindow(lat=(3, 3))
+        with pytest.raises(ValueError, match="lat"):
+            SpatialWindow(lat=(-1, 2))
+        with pytest.raises(ValueError, match="lon"):
+            SpatialWindow(lon=(5, 2))
+
+    def test_validate_for_grid_bounds(self):
+        grid = Grid(ntheta=9, nphi=15)
+        SpatialWindow(lat=(0, 9), lon=(0, 15)).validate_for(grid)
+        with pytest.raises(ValueError, match="lat window"):
+            SpatialWindow(lat=(0, 10)).validate_for(grid)
+        with pytest.raises(ValueError, match="lon window"):
+            SpatialWindow(lon=(0, 16)).validate_for(grid)
+
+    def test_full_window(self):
+        window = SpatialWindow()
+        assert window.is_full
+        grid = Grid(ntheta=9, nphi=15)
+        assert window.shape_on(grid) == (9, 15)
+
+
+class TestExtraction:
+    def test_extracts_trailing_axes(self):
+        fields = np.arange(2 * 3 * 4 * 6, dtype=np.float64).reshape(2, 3, 4, 6)
+        window = SpatialWindow(lat=(1, 3), lon=(2, 5))
+        np.testing.assert_array_equal(
+            window.extract(fields), fields[:, :, 1:3, 2:5]
+        )
+
+    def test_extract_rejects_low_rank(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            SpatialWindow(lat=(0, 1)).extract(np.arange(4.0))
+
+    def test_ensemble_window(self, small_ensemble):
+        window = SpatialWindow(lat=(2, 5), lon=(0, 7))
+        cut = small_ensemble.window(window)
+        np.testing.assert_array_equal(cut, small_ensemble.data[:, :, 2:5, 0:7])
+        with pytest.raises(ValueError, match="lat window"):
+            small_ensemble.window(SpatialWindow(lat=(0, 1000)))
+
+
+class TestFromDegrees:
+    def test_latitude_box(self):
+        grid = Grid(ntheta=19, nphi=36)  # 10-degree rows, +90 .. -90
+        window = SpatialWindow.from_degrees(grid, lat_range=(-30, 30))
+        lats = grid.latitudes[window.lat[0]:window.lat[1]]
+        # Boundary rows land on the box edge up to float rounding and are
+        # included (nanodegree tolerance).
+        assert lats.max() == pytest.approx(30.0) and lats.min() == pytest.approx(-30.0)
+        assert len(lats) == 7
+
+    def test_longitude_box(self):
+        grid = Grid(ntheta=19, nphi=36)  # 10-degree columns, 0 .. 350
+        window = SpatialWindow.from_degrees(grid, lon_range=(90, 180))
+        lons = grid.longitudes_deg[window.lon[0]:window.lon[1]]
+        assert lons.min() >= 90.0 and lons.max() <= 180.0
+
+    def test_empty_box_raises(self):
+        grid = Grid(ntheta=19, nphi=36)
+        with pytest.raises(ValueError, match="latitude"):
+            SpatialWindow.from_degrees(grid, lat_range=(41.0, 42.0))
+        with pytest.raises(ValueError, match="wrap"):
+            SpatialWindow.from_degrees(grid, lon_range=(350, 10))
+
+
+class TestSerialisation:
+    def test_state_round_trip(self):
+        window = SpatialWindow(lat=(1, 4), lon=(2, 9))
+        assert SpatialWindow.from_state(window.state_dict()) == window
+        assert SpatialWindow.from_state(SpatialWindow().state_dict()).is_full
+
+    def test_state_is_json_able(self):
+        import json
+
+        state = SpatialWindow(lat=(0, 3)).state_dict()
+        assert json.loads(json.dumps(state)) == state

@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.scenarios.campaign import plan_campaign, run_campaign
+from repro.scenarios.campaign import iter_chunk_arrays, plan_campaign, run_campaign
 from repro.storage.accounting import campaign_storage_report
 
 SCENARIO_NAMES = ["ssp-low", "ssp-medium", "ssp-high"]
@@ -258,6 +258,114 @@ class TestOutputDir:
                     assert str(payload["scenario"]) == record.scenario
         offsets = [int(np.load(f)["t_start"]) for f in manifest.runs[0].output_files]
         assert offsets == [0, 24]
+
+
+class TestChunkFilenames:
+    def test_names_are_unique_and_sorted_in_execution_order(
+        self, fitted_emulator, tmp_path
+    ):
+        manifest = run_campaign(
+            fitted_emulator, ["ssp-low", "ssp-high"], 2, n_times=48,
+            chunk_size=24, seed=3, collect="none", output_dir=tmp_path,
+        )
+        names = [
+            os.path.basename(f) for run in manifest.runs for f in run.output_files
+        ]
+        assert len(names) == len(set(names)) == 8
+        # Lexicographic filename order == campaign execution order.
+        assert sorted(names) == names
+
+    def test_padding_widths_scale_with_campaign_size(self):
+        plans = plan_campaign(
+            ["constant"], 4, n_times=20, steps_per_year=2, chunk_size=2,
+        )
+        # 4 runs / 10 chunks fit the historical 3/4-digit floors.
+        assert plans[0].index_width == 3 and plans[0].chunk_width == 4
+        big = plan_campaign(
+            ["constant"], 1500, n_times=6, steps_per_year=2, chunk_size=2,
+        )
+        assert big[0].index_width == 4  # 1500 runs need 4 digits
+        many_chunks = plan_campaign(
+            ["constant"], 1, n_times=20002, steps_per_year=2, chunk_size=2,
+        )
+        assert many_chunks[0].chunk_width == 5  # 10001 chunks need 5 digits
+
+    def test_slug_collisions_cannot_collide_filenames(
+        self, fitted_emulator, tmp_path
+    ):
+        # Two distinct scenario names that sanitise to the same slug: the
+        # run index keeps every filename unique.
+        colliding = [
+            repro.SCENARIOS.create("constant").rename("box a/b"),
+            repro.SCENARIOS.create("linear-ramp").rename("box a b"),
+        ]
+        manifest = run_campaign(
+            fitted_emulator, colliding, 1, n_times=24, seed=1,
+            collect="none", output_dir=tmp_path,
+        )
+        names = [
+            os.path.basename(f) for run in manifest.runs for f in run.output_files
+        ]
+        assert len(names) == len(set(names)) == 2
+
+
+class TestIterChunkArrays:
+    @pytest.fixture(scope="class")
+    def written_manifest(self, fitted_emulator, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("campaign-read-back")
+        return run_campaign(
+            fitted_emulator, ["ssp-low", "ssp-high"], 2, n_times=48,
+            chunk_size=24, seed=2024, collect="fields", output_dir=out_dir,
+        )
+
+    def test_reassembles_every_run_bit_identically(self, written_manifest):
+        loaded = list(iter_chunk_arrays(written_manifest))
+        assert len(loaded) == 4
+        for record, member in loaded:
+            assert member.shape[0] == record.n_times == 48
+            assert member.dtype == np.float32
+            # The shards are the float32 casts of the collected fields.
+            np.testing.assert_array_equal(
+                member, record.collected.astype(np.float32)
+            )
+
+    def test_accepts_json_manifest_form(self, written_manifest):
+        document = json.loads(written_manifest.to_json())
+        loaded = list(iter_chunk_arrays(document))
+        assert len(loaded) == 4
+        for (run, member), record in zip(loaded, written_manifest.runs):
+            assert run["scenario"] == record.scenario
+            np.testing.assert_array_equal(
+                member, record.collected.astype(np.float32)
+            )
+
+    def test_runs_without_files_are_skipped(self, fitted_emulator):
+        manifest = run_campaign(
+            fitted_emulator, ["constant"], 1, n_times=24, collect="none",
+        )
+        assert list(iter_chunk_arrays(manifest)) == []
+
+    def test_missing_shard_raises_instead_of_gapping(
+        self, fitted_emulator, tmp_path
+    ):
+        manifest = run_campaign(
+            fitted_emulator, ["constant"], 1, n_times=48, chunk_size=24,
+            collect="none", output_dir=tmp_path, seed=5,
+        )
+        record = manifest.runs[0]
+        record.output_files.pop(0)  # lose the first chunk
+        with pytest.raises(ValueError, match="missing or duplicated"):
+            list(iter_chunk_arrays(manifest))
+
+    def test_truncated_coverage_raises(self, fitted_emulator, tmp_path):
+        manifest = run_campaign(
+            fitted_emulator, ["constant"], 1, n_times=48, chunk_size=24,
+            collect="none", output_dir=tmp_path, seed=6,
+        )
+        record = manifest.runs[0]
+        record.output_files.pop()  # lose the last chunk
+        with pytest.raises(ValueError, match="cover"):
+            list(iter_chunk_arrays(manifest))
 
 
 class TestStorageReport:

@@ -1,0 +1,121 @@
+"""Tests of the content-addressed request model."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.window import SpatialWindow
+from repro.scenarios.registry import resolve_scenario_state
+from repro.serving.request import FieldRequest, chunk_address
+
+
+class TestValidation:
+    def test_defaults_one_year(self):
+        request = FieldRequest("ssp-high")
+        assert (request.year_start, request.year_stop) == (0, 1)
+        assert request.n_years == 1
+        assert list(request.years) == [0]
+
+    def test_rejects_bad_year_range(self):
+        with pytest.raises(ValueError, match="empty"):
+            FieldRequest("ssp-high", year_start=3, year_stop=3)
+        with pytest.raises(ValueError, match="year_start"):
+            FieldRequest("ssp-high", year_start=-1)
+
+    def test_rejects_negative_realization(self):
+        with pytest.raises(ValueError, match="realization"):
+            FieldRequest("ssp-high", realization=-1)
+
+    def test_rejects_bad_scenario_type(self):
+        with pytest.raises(TypeError, match="scenario"):
+            FieldRequest(42)
+
+    def test_rejects_bad_window_type(self):
+        with pytest.raises(TypeError, match="window"):
+            FieldRequest("ssp-high", window=(0, 3))
+
+    def test_is_hashable_and_frozen(self):
+        request = FieldRequest("ssp-high", realization=1)
+        assert hash(request) == hash(FieldRequest("ssp-high", realization=1))
+        with pytest.raises(AttributeError):
+            request.realization = 2
+
+
+class TestAddressing:
+    def test_address_is_deterministic(self):
+        a = FieldRequest("ssp-high", realization=2, year_start=1, year_stop=4)
+        b = FieldRequest("ssp-high", realization=2, year_start=1, year_stop=4)
+        assert a.address() == b.address()
+        assert len(a.address()) == 64  # sha256 hex
+
+    def test_aliases_and_specs_share_one_address(self):
+        by_name = FieldRequest("ssp-high", realization=1)
+        by_alias = FieldRequest("ssp5-8.5", realization=1)
+        by_spec = FieldRequest(repro.SCENARIOS.create("ssp-high"), realization=1)
+        assert by_name.address() == by_alias.address() == by_spec.address()
+
+    def test_every_field_enters_the_address(self):
+        base = FieldRequest("ssp-high", realization=0, year_start=0, year_stop=2)
+        variants = [
+            FieldRequest("ssp-low", realization=0, year_start=0, year_stop=2),
+            FieldRequest("ssp-high", realization=1, year_start=0, year_stop=2),
+            FieldRequest("ssp-high", realization=0, year_start=1, year_stop=2),
+            FieldRequest("ssp-high", realization=0, year_start=0, year_stop=3),
+            FieldRequest("ssp-high", realization=0, year_start=0, year_stop=2,
+                         include_nugget=False),
+            FieldRequest("ssp-high", realization=0, year_start=0, year_stop=2,
+                         window=SpatialWindow(lat=(0, 4))),
+            FieldRequest("ssp-high", realization=0, year_start=0, year_stop=2,
+                         start_level=3.0),
+        ]
+        addresses = {base.address()} | {v.address() for v in variants}
+        assert len(addresses) == len(variants) + 1
+
+    def test_start_level_ignored_when_scenario_ignores_it(self):
+        # "historical" pins its own baseline, so start_level cannot
+        # split its address space.
+        assert (
+            FieldRequest("historical", start_level=2.5).address()
+            == FieldRequest("historical", start_level=9.0).address()
+        )
+
+    def test_stream_address_excludes_selection_fields(self):
+        a = FieldRequest("ssp-high", realization=0, year_start=0, year_stop=2)
+        b = FieldRequest("ssp-high", realization=5, year_start=3, year_stop=9,
+                         window=SpatialWindow(lon=(0, 2)))
+        assert a.stream_address() == b.stream_address()
+        c = FieldRequest("ssp-high", include_nugget=False)
+        assert c.stream_address() != a.stream_address()
+
+    def test_chunk_addresses_cover_the_year_range(self):
+        request = FieldRequest("ssp-high", realization=2, year_start=3, year_stop=6)
+        addresses = request.chunk_addresses()
+        assert sorted(addresses) == [3, 4, 5]
+        stream = request.stream_address()
+        for year, address in addresses.items():
+            assert address == chunk_address(stream, 2, year)
+        assert len(set(addresses.values())) == 3
+
+    def test_canonical_state_is_json_able(self):
+        import json
+
+        request = FieldRequest("ssp-high", realization=1, year_start=0,
+                               year_stop=2, window=SpatialWindow(lat=(1, 3)))
+        state = request.canonical_state()
+        assert json.loads(json.dumps(state)) == state
+
+
+class TestScenarioStateResolution:
+    def test_resolves_names_aliases_and_specs_identically(self):
+        by_name = resolve_scenario_state("ssp-medium")
+        by_alias = resolve_scenario_state("ssp2-4.5")
+        by_spec = resolve_scenario_state(repro.SCENARIOS.create("ssp-medium"))
+        assert by_name == by_alias == by_spec
+
+    def test_state_round_trips_through_spec(self):
+        state = resolve_scenario_state("overshoot")
+        spec = repro.ScenarioSpec.from_state(state)
+        np.testing.assert_array_equal(
+            spec.annual_forcing(10),
+            repro.SCENARIOS.create("overshoot").annual_forcing(10),
+        )

@@ -13,6 +13,7 @@ from repro.sht.plancache import (
     get_plan,
     plan_cache_key,
     plan_cache_stats,
+    set_plan_cache_limit,
 )
 from repro.sht.transform import SHTPlan
 from repro.util.registry import UnknownBackendError
@@ -20,9 +21,11 @@ from repro.util.registry import UnknownBackendError
 
 @pytest.fixture(autouse=True)
 def fresh_cache():
-    """Each test observes its own hit/miss history."""
+    """Each test observes its own hit/miss history and an unlimited cache."""
+    set_plan_cache_limit(None)
     clear_plan_cache()
     yield
+    set_plan_cache_limit(None)
     clear_plan_cache()
 
 
@@ -98,6 +101,72 @@ class TestCacheKeys:
             SHT_BACKENDS.unregister("cache-test")
 
 
+class TestBytesLimit:
+    def test_unlimited_by_default(self):
+        for lmax in (4, 5, 6, 7, 8):
+            get_plan("fast", lmax, Grid.for_bandlimit(lmax))
+        stats = plan_cache_stats()
+        assert stats["limit_bytes"] is None
+        assert stats["size"] == 5 and stats["evictions"] == 0
+        assert stats["bytes"] > 0
+
+    def test_limit_evicts_least_recently_used(self):
+        plans = {
+            lmax: get_plan("fast", lmax, Grid.for_bandlimit(lmax))
+            for lmax in (4, 6, 8)
+        }
+        get_plan("fast", 4, Grid.for_bandlimit(4))  # refresh lmax=4 to MRU
+        total = plan_cache_stats()["bytes"]
+        # Budget for roughly the two smaller plans: the LRU entry (lmax=6)
+        # must go first.
+        set_plan_cache_limit(total - 1)
+        stats = plan_cache_stats()
+        assert stats["evictions"] >= 1
+        assert stats["bytes"] <= total - 1
+        keys = {key[2] for key in stats["keys"]}
+        assert 8 in keys  # most recently inserted survives
+        assert plans  # keep references alive; evicted plans rebuild on demand
+
+    def test_evicted_plan_rebuilds_on_next_use(self):
+        grid = Grid.for_bandlimit(6)
+        first = get_plan("fast", 6, grid)
+        set_plan_cache_limit(0)  # evicts on every insert beyond the newest
+        get_plan("fast", 8, Grid.for_bandlimit(8))
+        rebuilt = get_plan("fast", 6, grid)
+        assert rebuilt is not first
+        np.testing.assert_array_equal(rebuilt.integral, first.integral)
+        assert plan_cache_stats()["evictions"] >= 1
+
+    def test_single_oversized_plan_still_serves(self):
+        set_plan_cache_limit(1)  # smaller than any plan
+        grid = Grid.for_bandlimit(6)
+        plan = get_plan("fast", 6, grid)
+        # The most recently served plan survives its own insertion ...
+        assert plan_cache_stats()["size"] == 1
+        # ... and a subsequent distinct plan replaces it.
+        get_plan("fast", 8, Grid.for_bandlimit(8))
+        stats = plan_cache_stats()
+        assert stats["size"] == 1 and stats["keys"][0][2] == 8
+
+    def test_hits_refresh_recency(self):
+        set_plan_cache_limit(None)
+        a = get_plan("fast", 4, Grid.for_bandlimit(4))
+        get_plan("fast", 6, Grid.for_bandlimit(6))
+        get_plan("fast", 4, Grid.for_bandlimit(4))  # hit: lmax=4 becomes MRU
+        stats = plan_cache_stats()
+        assert [key[2] for key in stats["keys"]] == [6, 4]
+        assert a is get_plan("fast", 4, Grid.for_bandlimit(4))
+
+    def test_rejects_negative_limit(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            set_plan_cache_limit(-1)
+
+    def test_limit_survives_clear(self):
+        set_plan_cache_limit(123456)
+        clear_plan_cache()
+        assert plan_cache_stats()["limit_bytes"] == 123456
+
+
 class TestConcurrency:
     def test_threads_converge_on_one_plan(self):
         grid = Grid.for_bandlimit(8)
@@ -107,6 +176,74 @@ class TestConcurrency:
             ))
         assert all(p is plans[0] for p in plans)
         assert plan_cache_stats()["size"] == 1
+
+    def test_concurrent_load_and_emulate_share_one_plan(
+        self, fitted_emulator, tmp_path
+    ):
+        """repro.load + emulate hammered from threads: one plan, same bits.
+
+        Every load resolves its transform plan through the shared cache
+        while other threads emulate with it; the cache must neither
+        corrupt the plan (outputs stay bit-identical to a serial run)
+        nor duplicate it (one entry, one miss).
+        """
+        import numpy as np
+
+        import repro
+
+        path = repro.save(fitted_emulator, tmp_path / "emulator.npz")
+        serial = repro.load(path).emulate(
+            1, n_times=24, rng=np.random.default_rng(9)
+        )
+        n_threads = 8
+        outputs = [None] * n_threads
+        errors = []
+
+        def worker(i):
+            try:
+                emulator = repro.load(path)
+                outputs[i] = emulator.emulate(
+                    1, n_times=24, rng=np.random.default_rng(9)
+                )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(worker, range(n_threads)))
+        assert not errors
+        for output in outputs:
+            np.testing.assert_array_equal(output.data, serial.data)
+        stats = plan_cache_stats()
+        key = plan_cache_key(
+            fitted_emulator.config.sht_method,
+            fitted_emulator.config.lmax,
+            fitted_emulator.training_summary.grid,
+        )
+        assert stats["keys"].count(key) == 1
+        # Duplicate concurrent builds may race, but exactly one entry
+        # serves every subsequent lookup.
+        assert sum(1 for k in stats["keys"] if k == key) == 1
+
+    def test_concurrent_get_under_bytes_limit_stays_consistent(self):
+        """Eviction churn under threads must never serve a wrong plan."""
+        grids = {lmax: Grid.for_bandlimit(lmax) for lmax in (4, 5, 6, 7)}
+        set_plan_cache_limit(1)  # every insert evicts the rest: maximum churn
+        errors = []
+
+        def worker(i):
+            lmax = 4 + (i % 4)
+            try:
+                plan = get_plan("fast", lmax, grids[lmax])
+                assert plan.lmax == lmax and plan.grid == grids[lmax]
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(worker, range(64)))
+        assert not errors
+        stats = plan_cache_stats()
+        assert stats["size"] == 1
+        assert stats["evictions"] > 0
 
     def test_process_workers_warm_independently(self):
         """Each worker process builds its own cache (module state is per-process)."""

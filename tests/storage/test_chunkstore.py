@@ -1,0 +1,147 @@
+"""Tests of the persistent quantized chunk store."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.storage.chunkstore import CHUNK_ENCODINGS, ChunkStore
+
+
+@pytest.fixture()
+def payload(rng):
+    # Temperature-like values: O(280 K) with O(10 K) spread.
+    return 280.0 + 10.0 * rng.standard_normal((6, 9, 15))
+
+
+class TestRoundTrip:
+    def test_float64_is_bit_lossless(self, tmp_path, payload):
+        store = ChunkStore(tmp_path, encoding="float64")
+        store.put("aa11", payload)
+        assert np.array_equal(store.get("aa11"), payload)
+        assert store.lossless
+        assert store.max_abs_error() == 0.0
+
+    def test_float32_round_trip_and_measured_error(self, tmp_path, payload):
+        store = ChunkStore(tmp_path, encoding="float32")
+        entry = store.put("aa11", payload)
+        decoded = store.get("aa11")
+        assert decoded.dtype == np.float64
+        measured = float(np.max(np.abs(decoded - payload)))
+        assert measured == entry["max_abs_error"]
+        assert measured <= np.max(np.abs(payload)) * np.finfo(np.float32).eps * 2
+        assert entry["encoded_bytes"] == payload.size * 4
+
+    def test_int16_quantization_error_is_bounded_and_honest(self, tmp_path, payload):
+        store = ChunkStore(tmp_path, encoding="int16")
+        entry = store.put("aa11", payload)
+        decoded = store.get("aa11")
+        measured = float(np.max(np.abs(decoded - payload)))
+        assert measured == entry["max_abs_error"] == store.max_abs_error()
+        # Half the value range over 2**15 levels bounds the error.
+        half_range = 0.5 * (payload.max() - payload.min())
+        assert measured <= half_range / 32767.0 * 1.000001
+        assert entry["encoded_bytes"] == payload.size * 2
+
+    def test_constant_chunk_quantizes_exactly(self, tmp_path):
+        store = ChunkStore(tmp_path, encoding="int16")
+        constant = np.full((2, 3, 4), 7.25)
+        store.put("bb22", constant)
+        assert np.array_equal(store.get("bb22"), constant)
+        assert store.max_abs_error() == 0.0
+
+    def test_missing_chunk_returns_none(self, tmp_path):
+        store = ChunkStore(tmp_path)
+        assert store.get("nope") is None
+        assert store.entry("nope") is None
+        assert "nope" not in store
+
+
+class TestManifest:
+    def test_persists_across_reopen(self, tmp_path, payload):
+        first = ChunkStore(tmp_path, encoding="float64")
+        first.put("aa11", payload)
+        first.put("bb22", payload * 2.0)
+        second = ChunkStore(tmp_path, encoding="float64")
+        assert len(second) == 2
+        assert second.addresses() == ["aa11", "bb22"]
+        assert np.array_equal(second.get("bb22"), payload * 2.0)
+
+    def test_reopen_with_wrong_encoding_raises(self, tmp_path, payload):
+        ChunkStore(tmp_path, encoding="int16").put("aa11", payload)
+        with pytest.raises(ValueError, match="encoding"):
+            ChunkStore(tmp_path, encoding="float64")
+
+    def test_unknown_encoding_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="encoding"):
+            ChunkStore(tmp_path, encoding="int8")
+        assert "int8" not in CHUNK_ENCODINGS
+
+    def test_put_is_idempotent(self, tmp_path, payload):
+        store = ChunkStore(tmp_path)
+        first = store.put("aa11", payload)
+        second = store.put("aa11", np.zeros_like(payload))  # ignored: same address
+        assert first == second
+        assert np.array_equal(store.get("aa11"), payload)
+
+    def test_manifest_is_valid_json_with_schema(self, tmp_path, payload):
+        store = ChunkStore(tmp_path, encoding="int16")
+        store.put("aa11", payload)
+        with open(os.path.join(str(tmp_path), "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["schema"] == 1
+        assert manifest["encoding"] == "int16"
+        entry = manifest["chunks"]["aa11"]
+        assert entry["shape"] == list(payload.shape)
+        assert "scale" in entry and "offset" in entry
+
+    def test_corrupt_schema_raises(self, tmp_path):
+        ChunkStore(tmp_path)
+        with open(os.path.join(str(tmp_path), "manifest.json"), "w") as handle:
+            json.dump({"schema": 99}, handle)
+        with pytest.raises(ValueError, match="schema"):
+            ChunkStore(tmp_path)
+
+
+class TestPutMany:
+    def test_batch_writes_once_and_skips_existing(self, tmp_path, payload):
+        store = ChunkStore(tmp_path)
+        store.put("aa11", payload)
+        written = store.put_many({
+            "aa11": np.zeros_like(payload),  # present: skipped
+            "bb22": payload + 1.0,
+            "cc33": payload + 2.0,
+        })
+        assert written == 2
+        assert len(store) == 3
+        assert np.array_equal(store.get("aa11"), payload)  # untouched
+        assert np.array_equal(store.get("cc33"), payload + 2.0)
+        assert store.put_many({"aa11": payload}) == 0
+
+    def test_manifest_merges_across_store_handles(self, tmp_path, payload):
+        # Two handles on one directory (two services, or two processes):
+        # a write from one must not clobber entries the other persisted
+        # after this handle loaded the manifest.
+        first = ChunkStore(tmp_path)
+        second = ChunkStore(tmp_path)
+        first.put_many({"aa11": payload, "bb22": payload + 1.0})
+        second.put("cc33", payload + 2.0)  # stale in-memory view of second
+        reopened = ChunkStore(tmp_path)
+        assert reopened.addresses() == ["aa11", "bb22", "cc33"]
+        assert np.array_equal(reopened.get("aa11"), payload)
+        assert np.array_equal(reopened.get("cc33"), payload + 2.0)
+
+
+class TestStats:
+    def test_stats_totals(self, tmp_path, payload):
+        store = ChunkStore(tmp_path, encoding="int16")
+        store.put("aa11", payload)
+        store.put("bb22", payload + 1.0)
+        stats = store.stats()
+        assert stats["n_chunks"] == 2
+        assert stats["decoded_bytes"] == 2 * payload.nbytes
+        assert stats["encoded_bytes"] == 2 * payload.size * 2
+        assert stats["compression_factor"] == pytest.approx(4.0)
+        assert stats["lossless"] is False
+        assert stats["max_abs_error"] > 0.0
