@@ -85,31 +85,67 @@ def _catalogue(registry) -> str:
 def generate() -> str:
     import repro
     from repro.api.artifact import EmulatorArtifact
+    from repro.core.window import SpatialWindow
     from repro.linalg.policies import CHOLESKY_VARIANTS
     from repro.scenarios.campaign import (
         CampaignManifest,
+        iter_chunk_arrays,
         plan_campaign,
         run_campaign,
     )
     from repro.scenarios.registry import SCENARIOS, list_scenarios, register_scenario
     from repro.scenarios.spec import ScenarioSpec
-    from repro.sht.plancache import clear_plan_cache, get_plan, plan_cache_stats
-    from repro.storage.accounting import campaign_storage_report
+    from repro.serving.request import FieldRequest
+    from repro.serving.service import EmulationService
+    from repro.sht.plancache import (
+        clear_plan_cache,
+        get_plan,
+        plan_cache_stats,
+        set_plan_cache_limit,
+    )
+    from repro.storage.accounting import (
+        campaign_storage_report,
+        serving_storage_report,
+    )
+    from repro.storage.chunkstore import ChunkStore
     from repro.util.registry import BackendRegistry, UnknownBackendError
 
     parts = [HEADER]
 
     parts.append("## Facade\n")
     parts.append(
-        "The five-call workflow: fit once, persist, then emulate anywhere.\n"
+        "The six-call workflow: fit once, persist, then emulate — or serve —\n"
+        "anywhere.\n"
     )
-    for name in ("fit", "save", "load", "emulate", "emulate_stream"):
+    for name in ("fit", "save", "load", "emulate", "emulate_stream", "serve"):
         parts.append(_entry(f"repro.{name}", getattr(repro, name)))
+
+    parts.append("## Serving\n")
+    parts.append(
+        "The on-demand emulation service: content-addressed\n"
+        "`FieldRequest` objects answered from a bytes-capped chunk cache,\n"
+        "an optional persistent `ChunkStore`, or coalesced batched\n"
+        "synthesis.  See [`serving.md`](serving.md) for the tier design\n"
+        "and the determinism contract.\n"
+    )
+    parts.append(_entry("repro.FieldRequest", FieldRequest,
+                        methods=("address", "stream_address",
+                                 "chunk_addresses", "resolve_spec")))
+    parts.append(_entry("repro.EmulationService", EmulationService,
+                        methods=("get", "stats")))
+    parts.append(_entry("repro.SpatialWindow", SpatialWindow,
+                        methods=("from_degrees", "extract", "validate_for")))
+    parts.append(_entry("repro.ChunkStore", ChunkStore,
+                        methods=("put", "get", "entry", "max_abs_error",
+                                 "stats")))
+    parts.append(_entry("repro.storage.accounting.serving_storage_report",
+                        serving_storage_report))
 
     parts.append("## Campaign\n")
     for qualname, obj in (
         ("repro.run_campaign", run_campaign),
         ("repro.scenarios.campaign.plan_campaign", plan_campaign),
+        ("repro.iter_chunk_arrays", iter_chunk_arrays),
         ("repro.storage.accounting.campaign_storage_report", campaign_storage_report),
     ):
         parts.append(_entry(qualname, obj))
@@ -137,6 +173,7 @@ def generate() -> str:
     for qualname, obj in (
         ("repro.get_plan", get_plan),
         ("repro.plan_cache_stats", plan_cache_stats),
+        ("repro.set_plan_cache_limit", set_plan_cache_limit),
         ("repro.clear_plan_cache", clear_plan_cache),
     ):
         parts.append(_entry(qualname, obj))
