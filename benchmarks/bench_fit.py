@@ -1,0 +1,206 @@
+"""E14 — GEMM-blocked analysis: `fit` vs the reference per-degree path.
+
+Fitting is the paper's dominant compute phase: every residual field of a
+reanalysis-scale ensemble pays a forward SHT (Section III-A), so after
+PR 3 gave synthesis the per-order GEMM + blocked-FFT treatment, analysis
+was the last seed-speed hot path.  This benchmark measures what closing
+that asymmetry bought at ``lmax = 48``:
+
+* **reference per-degree path** — the seed behaviour of ``repro.fit``:
+  both Wigner contractions run through their literal per-degree Eq. (7)
+  accumulations (kept as
+  :meth:`SHTPlan.wigner_contraction_forward_reference` /
+  :meth:`SHTPlan.wigner_contraction_inverse_reference`), with the full
+  analysis intermediate materialised in one pass;
+* **GEMM-blocked path** — the production ``repro.fit``: the forward
+  contraction runs as ``2L-1`` BLAS GEMMs against precomputed analysis
+  operators and both forward FFT stages are blocked over leading slices
+  (``_ANALYSIS_BLOCK``), mirroring the synthesis side.
+
+Correctness is a hard gate in every mode: the GEMM forward is asserted
+within ``1e-12`` of the per-degree reference on the fitted spectral
+series, batched analysis is asserted bit-identical per leading slice,
+and the fitted state is asserted bit-identical for every ``batch_size``.
+The wall-clock gate (``>= 2x`` fit speedup) is soft-gated by
+``REPRO_BENCH_SOFT=1`` for noisy shared runners, like the other
+benchmark jobs.
+
+Run as a script: ``PYTHONPATH=src python benchmarks/bench_fit.py`` —
+this also writes a ``BENCH_fit.json`` summary artifact (override the
+location with ``REPRO_BENCH_OUT``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+import repro
+from repro.data import Era5LikeConfig, Era5LikeGenerator
+from repro.sht.plancache import get_plan
+from repro.sht.transform import SHTPlan
+from repro.util.compare import assert_states_bit_identical
+
+LMAX = 48                 # acceptance criterion: >= 2x fit speedup at lmax = 48
+SPY = 24                  # steps per model year of the benchmark calendar
+N_YEARS = 6
+N_ENSEMBLE = 2
+TILE_SIZE = 128
+TARGET_SPEEDUP = 2.0
+PARITY_TOL = 1e-12        # GEMM forward vs per-degree reference
+
+
+def _check_speedup(speedup: float) -> None:
+    """Enforce the fit speedup target, unless soft mode is requested.
+
+    Correctness (forward/reference parity, per-slice and per-batch-size
+    bit-exactness) always asserts; the wall-clock ratio is inherently
+    noisy on shared CI runners, so setting ``REPRO_BENCH_SOFT=1``
+    downgrades a miss to a loud warning while local/dedicated runs keep
+    the hard gate.
+    """
+    if speedup >= TARGET_SPEEDUP:
+        return
+    message = (
+        f"GEMM-blocked fit only {speedup:.2f}x faster than the reference "
+        f"per-degree path (target {TARGET_SPEEDUP}x)"
+    )
+    if os.environ.get("REPRO_BENCH_SOFT"):
+        print(f"WARNING: {message} [REPRO_BENCH_SOFT set; not failing]")
+        return
+    raise AssertionError(message)
+
+
+def _training_ensemble():
+    """The lmax=48 training ensemble shared by both timed paths."""
+    return Era5LikeGenerator(
+        Era5LikeConfig(lmax=LMAX, n_years=N_YEARS, steps_per_year=SPY,
+                       n_ensemble=N_ENSEMBLE, forcing_growth=1.0),
+        seed=7,
+    ).generate()
+
+
+def _fit(sims, batch_size=None):
+    return repro.fit(sims, lmax=LMAX, var_order=1, tile_size=TILE_SIZE,
+                     n_harmonics=2, rho_grid=(0.3, 0.7),
+                     batch_size=batch_size)
+
+
+def _timed_fit(sims, batch_size=None):
+    t0 = time.perf_counter()
+    emulator = _fit(sims, batch_size=batch_size)
+    return time.perf_counter() - t0, emulator
+
+
+def _reference_fit_seconds(sims) -> float:
+    """Time ``fit`` on the seed-speed per-degree path, end to end.
+
+    Two patches reproduce the seed behaviour exactly: the class-level
+    swap routes every plan — including the cached one — through the
+    literal per-degree Eq. (7) accumulations, and the block constants
+    are lifted so both FFT stages materialise the full intermediate of
+    the whole record in one pass (the contraction strategy dominates the
+    gap; the unblocked single pass is what the seed `fit` allocated).
+    The plan's precomputed tables are shared by both timed paths.
+    """
+    from repro.sht import transform
+
+    originals = (SHTPlan.wigner_contraction_forward,
+                 SHTPlan.wigner_contraction_inverse,
+                 transform._ANALYSIS_BLOCK,
+                 transform._SYNTHESIS_BLOCK)
+    SHTPlan.wigner_contraction_forward = (
+        SHTPlan.wigner_contraction_forward_reference)
+    SHTPlan.wigner_contraction_inverse = (
+        SHTPlan.wigner_contraction_inverse_reference)
+    transform._ANALYSIS_BLOCK = transform._SYNTHESIS_BLOCK = 10**9
+    try:
+        seconds, _ = _timed_fit(sims)
+    finally:
+        (SHTPlan.wigner_contraction_forward,
+         SHTPlan.wigner_contraction_inverse,
+         transform._ANALYSIS_BLOCK,
+         transform._SYNTHESIS_BLOCK) = originals
+    return seconds
+
+
+def run_benchmark() -> dict:
+    """Execute both fit paths, verify correctness and return the summary."""
+    sims = _training_ensemble()
+    plan = get_plan("fast", LMAX, sims.grid)  # warm: shared by both paths
+    _fit(sims)                                # warm BLAS/FFT working sets
+
+    t_reference = _reference_fit_seconds(sims)
+    t_gemm, emulator = _timed_fit(sims)
+    speedup = t_reference / t_gemm
+
+    # Hard gate 1: the GEMM forward matches the per-degree reference on
+    # the real fitted inputs (the standardised residual fields).
+    residuals = emulator.trend_model.residuals(
+        sims.data, sims.forcing_annual, emulator.trend_fit
+    )
+    standardized = emulator.scale.standardize(residuals)
+    gemm_coeffs = plan.forward(standardized)
+    g = plan.longitude_fourier(standardized)
+    reference_coeffs = plan.wigner_contraction_forward_reference(
+        plan.colatitude_fourier(g)
+    )
+    forward_max_diff = float(np.max(np.abs(gemm_coeffs - reference_coeffs)))
+    assert forward_max_diff <= PARITY_TOL, (
+        f"GEMM forward diverged from the per-degree reference: "
+        f"max |diff| = {forward_max_diff}"
+    )
+
+    # Hard gate 2: batched analysis is bit-identical per leading slice
+    # (the guarantee that lets fit cap its working set with batch_size).
+    per_slice = all(
+        np.array_equal(gemm_coeffs[r], plan.forward(standardized[r]))
+        for r in range(standardized.shape[0])
+    )
+    assert per_slice, "batched analysis is not bit-identical to per-slice"
+
+    # Hard gate 3: the fitted state does not depend on batch_size
+    # (assert_states_bit_identical raises with the failing leaf path).
+    reference_state = emulator.state_dict()
+    for batch_size in (1, N_ENSEMBLE):
+        assert_states_bit_identical(
+            reference_state, _fit(sims, batch_size=batch_size).state_dict()
+        )
+    batch_invariant = True
+
+    return {
+        "benchmark": "fit",
+        "lmax": LMAX,
+        "n_ensemble": N_ENSEMBLE,
+        "n_times": N_YEARS * SPY,
+        "tile_size": TILE_SIZE,
+        "reference_fit_seconds": round(t_reference, 4),
+        "gemm_fit_seconds": round(t_gemm, 4),
+        "speedup": round(speedup, 2),
+        "forward_max_diff": forward_max_diff,
+        "forward_parity_tol": PARITY_TOL,
+        "per_slice_bit_identical": per_slice,
+        "batch_size_bit_identical": batch_invariant,
+    }
+
+
+def test_fit_benchmark():
+    """Pytest entry point mirroring the script run."""
+    summary = run_benchmark()
+    print(f"\nJSON summary: {json.dumps(summary, sort_keys=True)}")
+    assert summary["per_slice_bit_identical"]
+    assert summary["batch_size_bit_identical"]
+    _check_speedup(summary["speedup"])
+
+
+if __name__ == "__main__":
+    summary = run_benchmark()
+    print(f"JSON summary: {json.dumps(summary, sort_keys=True)}")
+    out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_fit.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+    _check_speedup(summary["speedup"])

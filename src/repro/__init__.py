@@ -51,7 +51,7 @@ Quickstart
 ...     n_realizations=5, max_workers=4)
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.core.config import EmulatorConfig
 from repro.core.emulator import ClimateEmulator

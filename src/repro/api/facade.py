@@ -38,6 +38,7 @@ __all__ = ["emulate", "emulate_stream", "fit", "load", "save", "serve"]
 def fit(
     ensemble: ClimateEnsemble,
     config: EmulatorConfig | None = None,
+    batch_size: int | None = None,
     **overrides,
 ) -> ClimateEmulator:
     """Fit a :class:`ClimateEmulator` on a simulation ensemble.
@@ -50,6 +51,11 @@ def fit(
         band-limit (``ntheta >= lmax + 1``, ``nphi >= 2*lmax - 1``).
     config:
         Emulator configuration; defaults to ``EmulatorConfig()``.
+    batch_size:
+        Cap on ensemble members per SHT pass during the spectral fit
+        (all at once when ``None``).  A memory knob only: the fitted
+        state is bit-identical for every value, because the forward and
+        inverse transforms are independent per leading slice.
     **overrides:
         Individual :class:`EmulatorConfig` fields overriding ``config``
         (e.g. ``fit(ensemble, lmax=16, precision_variant="DP/SP")``).
@@ -59,13 +65,14 @@ def fit(
     ClimateEmulator
         The fitted emulator.  Fitting is deterministic: the same ensemble
         and configuration always produce bit-identical fitted state (no
-        hidden randomness anywhere in the pipeline).
+        hidden randomness anywhere in the pipeline), and ``batch_size``
+        never changes a bit of it.
     """
     if config is None:
         config = EmulatorConfig(**overrides)
     elif overrides:
         config = dataclasses.replace(config, **overrides)
-    return ClimateEmulator(config).fit(ensemble)
+    return ClimateEmulator(config).fit(ensemble, batch_size=batch_size)
 
 
 def save(emulator: ClimateEmulator, path: "str | os.PathLike") -> str:

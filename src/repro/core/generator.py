@@ -20,7 +20,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.scale import ScaleField
-from repro.core.spectral_model import SpectralStochasticModel
+from repro.core.spectral_model import SpectralStochasticModel, validate_batch_size
 from repro.core.trend import MeanTrendModel, TrendFit
 from repro.data.ensemble import ClimateEnsemble
 from repro.sht.grid import Grid
@@ -176,8 +176,7 @@ class EmulationGenerator:
                 f"forcing covers {len(annual_forcing)} years but {n_times} "
                 f"steps require {needed_years}"
             )
-        if batch_size is not None and batch_size < 1:
-            raise ValueError("batch_size must be positive")
+        batch_size = validate_batch_size(batch_size)
         stream = self.spectral_model.generate_standardized_stream(
             rng, n_realizations, n_times, chunk_size,
             include_nugget=include_nugget, batch_size=batch_size,

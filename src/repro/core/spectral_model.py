@@ -23,7 +23,28 @@ from repro.sht.grid import Grid
 from repro.sht.plancache import get_plan
 from repro.sht.realform import complex_from_real, real_from_complex
 
-__all__ = ["SpectralStochasticModel"]
+__all__ = ["SpectralStochasticModel", "validate_batch_size"]
+
+
+def validate_batch_size(batch_size: "int | None") -> "int | None":
+    """Validate an SHT working-set cap: ``None`` or a positive integer.
+
+    Shared by every ``batch_size``-accepting entry point (spectral fit
+    and generation, :class:`~repro.core.emulator.ClimateEmulator`, the
+    generator), so the rule cannot drift between them.  Non-integral
+    values are rejected here rather than failing later inside a slice.
+    """
+    if batch_size is None:
+        return None
+    if isinstance(batch_size, bool) or not isinstance(
+        batch_size, (int, np.integer)
+    ):
+        raise ValueError(
+            f"batch_size must be a positive integer or None, got {batch_size!r}"
+        )
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return int(batch_size)
 
 
 @dataclass
@@ -73,13 +94,20 @@ class SpectralStochasticModel:
     # ------------------------------------------------------------------ #
     # Forward modelling of the training residuals
     # ------------------------------------------------------------------ #
-    def spectral_series(self, standardized: np.ndarray) -> np.ndarray:
+    def spectral_series(
+        self, standardized: np.ndarray, batch_size: int | None = None
+    ) -> np.ndarray:
         """Real spectral coefficient series ``f_t`` for each ensemble member.
 
         Parameters
         ----------
         standardized:
             Standardised residual fields of shape ``(R, T, ntheta, nphi)``.
+        batch_size:
+            Cap on ensemble members analysed per forward-SHT pass (all at
+            once when ``None``).  A memory knob only: the forward
+            transform is independent per leading slice, so the result is
+            bit-identical for every value.
 
         Returns
         -------
@@ -89,32 +117,65 @@ class SpectralStochasticModel:
         standardized = np.asarray(standardized, dtype=np.float64)
         if standardized.ndim == 3:
             standardized = standardized[None, ...]
-        coeffs = self.plan.forward(standardized)
-        return real_from_complex(coeffs)
+        batch_size = validate_batch_size(batch_size)
+        n_real = standardized.shape[0]
+        if batch_size is None or batch_size >= n_real:
+            coeffs = self.plan.forward(standardized)
+            return real_from_complex(coeffs)
+        spectral = np.empty(
+            standardized.shape[:2] + (self.plan.n_coeffs,), dtype=np.float64
+        )
+        for start in range(0, n_real, batch_size):
+            block = standardized[start:start + batch_size]
+            spectral[start:start + batch_size] = real_from_complex(
+                self.plan.forward(block)
+            )
+        return spectral
 
     def truncation_residual(
-        self, standardized: np.ndarray, spectral: np.ndarray
+        self,
+        standardized: np.ndarray,
+        spectral: np.ndarray,
+        batch_size: int | None = None,
     ) -> np.ndarray:
-        """Grid-space residual unexplained by the band-limited expansion."""
+        """Grid-space residual unexplained by the band-limited expansion.
+
+        ``batch_size`` caps the ensemble members reconstructed per
+        inverse-SHT pass (all at once when ``None``); the residual is
+        bit-identical for every value.
+        """
         standardized = np.asarray(standardized, dtype=np.float64)
         if standardized.ndim == 3:
             standardized = standardized[None, ...]
-        reconstructed = self.plan.inverse(complex_from_real(spectral))
+        reconstructed = self._synthesize(
+            np.asarray(spectral, dtype=np.float64), batch_size
+        )
         return standardized - reconstructed
 
     # ------------------------------------------------------------------ #
     # Fitting
     # ------------------------------------------------------------------ #
-    def fit(self, standardized: np.ndarray) -> "SpectralStochasticModel":
-        """Fit the VAR, innovation covariance, Cholesky factor and nugget."""
+    def fit(
+        self, standardized: np.ndarray, batch_size: int | None = None
+    ) -> "SpectralStochasticModel":
+        """Fit the VAR, innovation covariance, Cholesky factor and nugget.
+
+        ``batch_size`` caps how many ensemble members each SHT pass (the
+        forward analysis of the residuals and the inverse reconstruction
+        behind the nugget) materialises at once — the ``O(L^3)`` working
+        set of the fit hot path.  A memory/throughput knob only: both
+        transforms are independent per leading slice, so the fitted
+        state is bit-identical for every ``batch_size``.
+        """
         standardized = np.asarray(standardized, dtype=np.float64)
         if standardized.ndim == 3:
             standardized = standardized[None, ...]
+        batch_size = validate_batch_size(batch_size)
         n_ens, n_times = standardized.shape[:2]
         if n_times <= self.var_order + 1:
             raise ValueError("record too short for the requested VAR order")
 
-        spectral = self.spectral_series(standardized)          # (R, T, K)
+        spectral = self.spectral_series(standardized, batch_size)  # (R, T, K)
         self.var.fit(spectral)
         innovations = self.var.innovations(spectral)           # (R, T-P, K)
 
@@ -136,7 +197,7 @@ class SpectralStochasticModel:
         )
         self.cholesky = solver.factorize(cov)
 
-        truncation = self.truncation_residual(standardized, spectral)
+        truncation = self.truncation_residual(standardized, spectral, batch_size)
         self.nugget_std = truncation.std(axis=(0, 1), ddof=1)
         self.initial_state = spectral[:, -max(self.var_order, 1):, :].mean(axis=0)
         return self
@@ -180,18 +241,18 @@ class SpectralStochasticModel:
     def _synthesize(self, series: np.ndarray, batch_size: int | None) -> np.ndarray:
         """Inverse-transform a real coefficient series, blockwise over axis 0.
 
-        ``series`` has shape ``(R, T, L**2)``; the inverse SHT is applied
-        in realization blocks of at most ``batch_size`` (all at once when
-        ``None``), bounding the synthesis working set without changing the
-        result: the transform is independent per leading slice, so the
-        blocked output is bit-identical to the single-pass output.
+        ``series`` has shape ``(R, ..., L**2)``; the inverse SHT is
+        applied in axis-0 blocks of at most ``batch_size`` (all at once
+        when ``None``), bounding the synthesis working set without
+        changing the result: the transform is independent per leading
+        slice, so the blocked output is bit-identical to the single-pass
+        output.
         """
-        if batch_size is not None and batch_size < 1:
-            raise ValueError("batch_size must be positive")
+        batch_size = validate_batch_size(batch_size)
         n_real = series.shape[0]
         if batch_size is None or batch_size >= n_real:
             return self.plan.inverse(complex_from_real(series))
-        fields = np.empty(series.shape[:2] + self.grid.shape, dtype=np.float64)
+        fields = np.empty(series.shape[:-1] + self.grid.shape, dtype=np.float64)
         for start in range(0, n_real, batch_size):
             block = series[start:start + batch_size]
             fields[start:start + batch_size] = self.plan.inverse(
@@ -230,8 +291,7 @@ class SpectralStochasticModel:
             raise ValueError("n_realizations and n_times must be positive")
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
-        if batch_size is not None and batch_size < 1:
-            raise ValueError("batch_size must be positive")
+        batch_size = validate_batch_size(batch_size)
         p = self.var_order
         k = self.cholesky.factor.n
         if p > 0:

@@ -27,7 +27,11 @@ import numpy as np
 from repro.sht.grid import Grid
 from repro.sht.legendre import ylm_matrix_theta0
 from repro.sht.quadrature import colatitude_weights
-from repro.sht.transform import degrees_and_orders, num_coeffs
+from repro.sht.transform import (
+    bandlimit_from_coeff_count,
+    degrees_and_orders,
+    num_coeffs,
+)
 
 __all__ = ["synthesis_matrix", "direct_forward", "direct_inverse"]
 
@@ -58,7 +62,7 @@ def direct_inverse(coeffs: np.ndarray, grid: Grid, real: bool = True) -> np.ndar
     fields (``float64`` when ``real``, else ``complex128``).
     """
     coeffs = np.asarray(coeffs, dtype=np.complex128)
-    lmax = int(round(np.sqrt(coeffs.shape[-1])))
+    lmax = bandlimit_from_coeff_count(coeffs.shape[-1])
     mat = synthesis_matrix(lmax, grid)
     flat = coeffs @ mat.T
     field = flat.reshape(coeffs.shape[:-1] + grid.shape)

@@ -66,12 +66,14 @@ _LIMIT_BYTES: "int | None" = None
 
 
 def _plan_nbytes(plan) -> int:
-    """Approximate resident bytes of a plan: its reachable ndarrays.
+    """Resident bytes of a plan: its reachable ndarrays.
 
     Walks the plan's ``__dict__`` one container level deep (arrays plus
     lists/tuples/dicts of arrays), which covers every table the built-in
-    plans hold — including lazily built operator lists, so a plan's
-    measured size grows once those materialise.
+    plans hold — the Wigner-d list, the integral matrix, and the
+    per-order synthesis/analysis operator lists.  All of them are built
+    eagerly in ``SHTPlan.__post_init__``, so a plan's measured size is
+    fixed from the moment it enters the cache.
     """
     total = 0
     for value in vars(plan).values():
@@ -89,22 +91,25 @@ def _plan_nbytes(plan) -> int:
 def _evict_over_limit_locked(keep: "tuple | None") -> None:
     """Drop least-recently-used plans until the cache fits the limit.
 
-    ``keep`` (the key just served) is evicted last — only when it alone
-    exceeds the whole budget — so the caller's plan is never churned out
-    by its own insertion.  Plan sizes are re-measured on every pass
-    because lazily built tables grow plans after insertion.
+    ``keep`` (the key just served) is never evicted — even when it alone
+    exceeds the whole budget — so the caller's plan is not churned out
+    by its own insertion.  Plans are immutable after construction
+    (every table is built eagerly in ``SHTPlan.__post_init__``), so each
+    plan's size is measured once per eviction pass; cache contents can
+    only grow through insertions, which all route through here.
     """
     global _EVICTIONS
     if _LIMIT_BYTES is None:
         return
-    while _CACHE:
-        sizes = {key: _plan_nbytes(plan) for key, plan in _CACHE.items()}
-        if sum(sizes.values()) <= _LIMIT_BYTES:
+    sizes = {key: _plan_nbytes(plan) for key, plan in _CACHE.items()}
+    total = sum(sizes.values())
+    for key in list(_CACHE):
+        if total <= _LIMIT_BYTES:
             return
-        victims = [key for key in _CACHE if key != keep]
-        if not victims:
-            return
-        del _CACHE[victims[0]]
+        if key == keep:
+            continue
+        del _CACHE[key]
+        total -= sizes[key]
         _EVICTIONS += 1
 
 
@@ -175,12 +180,11 @@ def get_plan(sht_method: str, lmax: int, grid: Grid):
             _HITS += 1
             # Dicts preserve insertion order; re-inserting keeps the
             # cache LRU-ordered for the bytes-limit eviction policy.
+            # No budget re-check here: plans are immutable after
+            # construction, so a hit cannot change the cache's byte
+            # total — only insertions (the miss path) can.
             del _CACHE[key]
             _CACHE[key] = plan
-            if _LIMIT_BYTES is not None:
-                # Plans grow after insertion (lazily built operator
-                # tables), so the budget is re-checked on hits too.
-                _evict_over_limit_locked(keep=key)
             return plan
     built = SHT_BACKENDS.resolve(sht_method).factory(lmax=lmax, grid=grid)
     with _LOCK:

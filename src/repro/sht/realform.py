@@ -20,7 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sht.transform import coeff_index, degrees_and_orders
+from repro.sht.transform import (
+    bandlimit_from_coeff_count,
+    coeff_index,
+    degrees_and_orders,
+)
 
 __all__ = ["real_from_complex", "complex_from_real", "real_basis_labels"]
 
@@ -42,7 +46,7 @@ def real_from_complex(coeffs: np.ndarray) -> np.ndarray:
         Real array of shape ``(..., L**2)``.
     """
     coeffs = np.asarray(coeffs)
-    lmax = int(round(np.sqrt(coeffs.shape[-1])))
+    lmax = bandlimit_from_coeff_count(coeffs.shape[-1])
     out = np.empty(coeffs.shape[:-1] + (lmax * lmax,), dtype=np.float64)
     for ell in range(lmax):
         out[..., coeff_index(ell, 0)] = coeffs[..., coeff_index(ell, 0)].real
@@ -60,7 +64,7 @@ def complex_from_real(real_coeffs: np.ndarray) -> np.ndarray:
     result always yields a real field.
     """
     real_coeffs = np.asarray(real_coeffs, dtype=np.float64)
-    lmax = int(round(np.sqrt(real_coeffs.shape[-1])))
+    lmax = bandlimit_from_coeff_count(real_coeffs.shape[-1])
     out = np.zeros(real_coeffs.shape[:-1] + (lmax * lmax,), dtype=np.complex128)
     for ell in range(lmax):
         out[..., coeff_index(ell, 0)] = real_coeffs[..., coeff_index(ell, 0)]

@@ -11,7 +11,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sht.grid import Grid
-from repro.sht.transform import SHTPlan, degrees_and_orders
+from repro.sht.transform import (
+    SHTPlan,
+    bandlimit_from_coeff_count,
+    degrees_and_orders,
+)
 
 __all__ = [
     "angular_power_spectrum",
@@ -35,7 +39,7 @@ def angular_power_spectrum(coeffs: np.ndarray) -> np.ndarray:
         Spectrum of shape ``(..., L)``.
     """
     coeffs = np.asarray(coeffs)
-    lmax = int(round(np.sqrt(coeffs.shape[-1])))
+    lmax = bandlimit_from_coeff_count(coeffs.shape[-1])
     ells, _ = degrees_and_orders(lmax)
     power = np.abs(coeffs) ** 2
     out = np.zeros(coeffs.shape[:-1] + (lmax,), dtype=np.float64)

@@ -29,6 +29,7 @@ is the pre-computation strategy the paper describes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.sht.quadrature import integral_matrix
 from repro.sht.wigner import wigner_d_pi2_all
 
 __all__ = [
+    "bandlimit_from_coeff_count",
     "coeff_index",
     "coeff_lm",
     "num_coeffs",
@@ -52,6 +54,16 @@ __all__ = [
 #: locality on large stacked batches.  Blocking never changes results: the
 #: FFTs are independent per leading slice.
 _SYNTHESIS_BLOCK = 32
+
+#: Leading slices analysed per FFT pass in :meth:`SHTPlan.forward` — the
+#: analysis counterpart of :data:`_SYNTHESIS_BLOCK`.  The two forward FFT
+#: stages materialise an extended-colatitude complex intermediate of
+#: ``(2*ntheta-2) * (2L-1) * 16`` bytes per slice; blocking bounds the
+#: peak working set on stacked ``(R, T, ntheta, nphi)`` ensembles (the
+#: `fit` hot path) instead of allocating it for the whole record at
+#: once.  Blocking never changes results: every stage is independent per
+#: leading slice.
+_ANALYSIS_BLOCK = 32
 
 
 # --------------------------------------------------------------------------- #
@@ -69,6 +81,27 @@ def num_coeffs(lmax: int) -> int:
     return lmax * lmax
 
 
+def bandlimit_from_coeff_count(n: int) -> int:
+    """The band-limit ``L`` whose coefficient vector has length ``n``.
+
+    The exact inverse of :func:`num_coeffs`: ``n`` must be a perfect
+    square ``L**2`` (a full ``(l, m)`` set), anything else raises
+    ``ValueError``.  Recovery uses :func:`math.isqrt`, never a rounded
+    float square root — ``round(sqrt(n))`` silently truncates or
+    misreads malformed vectors near large perfect squares.
+    """
+    n = int(n)
+    if n < 1:
+        raise ValueError(f"coefficient count must be >= 1, got {n}")
+    lmax = math.isqrt(n)
+    if lmax * lmax != n:
+        raise ValueError(
+            f"coefficient count {n} is not a perfect square L**2; "
+            f"got a trailing axis that cannot hold a full (l, m) set"
+        )
+    return lmax
+
+
 def coeff_index(ell: int, m: int) -> int:
     """Flat index of coefficient ``(l, m)``: ``l*l + l + m``."""
     if abs(m) > ell:
@@ -77,18 +110,30 @@ def coeff_index(ell: int, m: int) -> int:
 
 
 def coeff_lm(index: int) -> tuple[int, int]:
-    """Inverse of :func:`coeff_index`: returns ``(l, m)`` for a flat index."""
+    """Inverse of :func:`coeff_index`: returns ``(l, m)`` for a flat index.
+
+    Exact for every non-negative integer: the degree is recovered with
+    :func:`math.isqrt` rather than a float square root, whose rounding
+    near large perfect squares (e.g. ``index = (2**27)**2 - 1``) would
+    otherwise produce an invalid ``m < -l`` pair.
+    """
+    index = int(index)
     if index < 0:
         raise ValueError("index must be non-negative")
-    ell = int(np.floor(np.sqrt(index)))
+    ell = math.isqrt(index)
     m = index - ell * ell - ell
     return ell, m
 
 
 def degrees_and_orders(lmax: int) -> tuple[np.ndarray, np.ndarray]:
-    """Arrays of degree and order for every flat coefficient index."""
+    """Arrays of degree and order for every flat coefficient index.
+
+    Built by integer arithmetic alone (degree ``l`` repeats ``2l + 1``
+    times), so the result is exact at every index — no float square root
+    is involved.
+    """
+    ells = np.repeat(np.arange(lmax), 2 * np.arange(lmax) + 1)
     idx = np.arange(num_coeffs(lmax))
-    ells = np.floor(np.sqrt(idx)).astype(int)
     ms = idx - ells * ells - ells
     return ells, ms
 
@@ -112,8 +157,11 @@ class SHTPlan:
     -----
     The plan stores the Wigner-d matrices at ``pi/2`` for every degree
     (``O(L^3)`` memory, as in the paper's pre-computation strategy), the
-    ``(2L-1) x (2L-1)`` matrix ``I(m' + m'')``, and index maps between FFT
-    bins and signed orders.
+    ``(2L-1) x (2L-1)`` matrix ``I(m' + m'')``, index maps between FFT
+    bins and signed orders, and per-signed-order GEMM operators for both
+    transform directions (:meth:`_synthesis_operators` /
+    :meth:`_analysis_operators`, built eagerly so shared cached plans
+    stay immutable).
     """
 
     lmax: int
@@ -122,6 +170,7 @@ class SHTPlan:
     _imat: np.ndarray = field(init=False, repr=False)
     _syn_cols: "list[np.ndarray] | None" = field(init=False, default=None, repr=False)
     _syn_ops: "list[np.ndarray] | None" = field(init=False, default=None, repr=False)
+    _ana_ops: "list[np.ndarray] | None" = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.lmax < 1:
@@ -135,9 +184,10 @@ class SHTPlan:
         self._imat = integral_matrix(self.lmax)
         # Built eagerly: plans are shared process-wide through the plan
         # cache and must be immutable after construction (a lazy build
-        # would race under concurrent inverse() calls from campaign
-        # worker threads).
+        # would race under concurrent forward()/inverse() calls from
+        # campaign worker threads).
         self._synthesis_operators()
+        self._analysis_operators()
 
     # -- derived sizes ----------------------------------------------------- #
     @property
@@ -229,8 +279,66 @@ class SHTPlan:
         # axes currently (..., m', m); transpose to (..., m, m')
         return np.swapaxes(k, -1, -2)
 
+    def _analysis_operators(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Per-order analysis operators, built once in ``__post_init__``.
+
+        The adjoint view of :meth:`_synthesis_operators`: for each signed
+        order ``m`` the Eq. (7)-(8) assembly reduces to
+        ``f[cols_m] = K_{m, :} @ A_m`` with ``A_m = I @ S_m.T`` — the
+        transpose of the synthesis operator (same Wigner tables, same
+        folded ``i^{-m}`` phase) with the closed-form integral matrix
+        ``I(m' + m'')`` of Eq. (8) folded in, so the whole forward
+        contraction runs as exactly ``2L-1`` BLAS GEMMs over the
+        flattened batch, with no separate ``W = K @ I`` intermediate.
+        ``cols_m`` is shared with the synthesis side; folding ``I``
+        changes only the association order of the degree sum (pinned
+        ``<= 1e-12`` of the per-degree reference by tests).
+        """
+        if self._ana_ops is None:
+            _, syn_ops = self._synthesis_operators()
+            self._ana_ops = [
+                np.ascontiguousarray(self._imat @ op.T) for op in syn_ops
+            ]
+        return self._syn_cols, self._ana_ops
+
     def wigner_contraction_forward(self, k: np.ndarray) -> np.ndarray:
-        """Steps 3-4: contract ``K`` into the coefficient vector (Eq. 7)."""
+        """Steps 3-4: contract ``K`` into the coefficient vector (Eq. 7).
+
+        Implemented as one GEMM per signed order against the precomputed
+        operators of :meth:`_analysis_operators`, with all leading batch
+        axes flattened into the GEMM row dimension — the same ``O(L^3)``
+        arithmetic as the per-degree reference
+        (:meth:`wigner_contraction_forward_reference`, matched to within
+        reassociation error; the degree loop becomes the GEMM column
+        dimension) but an order of magnitude faster and per-slice
+        independent, so batched and per-slice calls agree bit for bit.
+        """
+        k = np.asarray(k, dtype=np.complex128)
+        cols, ops = self._analysis_operators()
+        lead = k.shape[:-2]
+        flat = np.ascontiguousarray(k.reshape((-1,) + k.shape[-2:]))
+        n_rows = flat.shape[0]
+        if n_rows == 1:
+            # Same gemv-vs-gemm guard as the inverse contraction: BLAS
+            # hands single-row products to gemv, whose reduction order can
+            # differ from the gemm kernels used for taller stacks.
+            # Duplicating the row keeps every batch height on the same
+            # kernel family, so per-slice results do not depend on how
+            # many slices were stacked together.
+            flat = np.concatenate([flat, flat], axis=0)
+        coeffs = np.empty((flat.shape[0], self.n_coeffs), dtype=np.complex128)
+        for mi in range(self.n_orders):
+            coeffs[:, cols[mi]] = flat[:, mi, :] @ ops[mi]
+        return coeffs[:n_rows].reshape(lead + (self.n_coeffs,))
+
+    def wigner_contraction_forward_reference(self, k: np.ndarray) -> np.ndarray:
+        """Literal per-degree assembly of Eq. (7) (validation reference).
+
+        Kept as the readable transcription of the paper's analysis
+        contraction; the production :meth:`wigner_contraction_forward`
+        must match it to within floating-point reassociation error
+        (pinned by the test-suite).
+        """
         lmax = self.lmax
         w = k @ self._imat  # (..., m, m'')
         out_shape = k.shape[:-2] + (self.n_coeffs,)
@@ -254,6 +362,12 @@ class SHTPlan:
             coeffs[..., start:start + 2 * ell + 1] = block
         return coeffs
 
+    def _analyze_block(self, data: np.ndarray) -> np.ndarray:
+        """One unblocked analysis pass: FFT stages plus GEMM contraction."""
+        g = self.longitude_fourier(data)
+        k = self.colatitude_fourier(g)
+        return self.wigner_contraction_forward(k)
+
     def forward(self, data: np.ndarray) -> np.ndarray:
         """Full analysis: grid field(s) to spectral coefficients.
 
@@ -261,24 +375,40 @@ class SHTPlan:
         ----------
         data:
             Real or complex field(s) of shape ``(..., ntheta, nphi)``;
-            any leading batch shape is transformed in one vectorised
-            pass, independently per leading slice.
+            any leading batch shape is transformed independently per
+            leading slice.  Stacked batches — e.g. a whole training
+            ensemble ``(R, T, ntheta, nphi)``, the `fit` hot path — are
+            analysed in internally blocked passes of
+            :data:`_ANALYSIS_BLOCK` leading slices, so peak memory is
+            bounded by the block instead of the full extended-colatitude
+            complex intermediate of the whole record.
 
         Returns
         -------
         numpy.ndarray
             ``complex128`` coefficients of shape ``(..., L**2)`` in flat
-            ``(l, m)`` order (``idx = l*l + l + m``).  Deterministic:
-            the same input always yields bit-identical coefficients.
+            ``(l, m)`` order (``idx = l*l + l + m``).  Deterministic and
+            batch-invariant: the same input always yields bit-identical
+            coefficients, and ``plan.forward(stacked)[b]`` is
+            bit-identical to ``plan.forward(stacked[b])`` — every stage
+            (both FFTs, the per-order GEMM contraction) operates
+            independently per leading slice.
         """
         data = np.asarray(data)
         if data.shape[-2:] != self.grid.shape:
             raise ValueError(
                 f"field shape {data.shape[-2:]} does not match grid {self.grid.shape}"
             )
-        g = self.longitude_fourier(data)
-        k = self.colatitude_fourier(g)
-        return self.wigner_contraction_forward(k)
+        lead = data.shape[:-2]
+        n_flat = int(np.prod(lead)) if lead else 1
+        if n_flat <= _ANALYSIS_BLOCK:
+            return self._analyze_block(data)
+        flat = data.reshape((n_flat,) + self.grid.shape)
+        coeffs = np.empty((n_flat, self.n_coeffs), dtype=np.complex128)
+        for start in range(0, n_flat, _ANALYSIS_BLOCK):
+            block = flat[start:start + _ANALYSIS_BLOCK]
+            coeffs[start:start + _ANALYSIS_BLOCK] = self._analyze_block(block)
+        return coeffs.reshape(lead + (self.n_coeffs,))
 
     # ------------------------------------------------------------------ #
     # Inverse (synthesis)
@@ -535,7 +665,12 @@ def sht_forward(data: np.ndarray, lmax: int, grid: Grid | None = None) -> np.nda
 
 
 def sht_inverse(coeffs: np.ndarray, grid: Grid, real: bool = True) -> np.ndarray:
-    """One-shot inverse transform (builds a throw-away plan)."""
+    """One-shot inverse transform (builds a throw-away plan).
+
+    The trailing axis must hold a full coefficient set, i.e. its length
+    must be a perfect square ``L**2``; anything else raises
+    ``ValueError`` (see :func:`bandlimit_from_coeff_count`).
+    """
     coeffs = np.asarray(coeffs)
-    lmax = int(round(np.sqrt(coeffs.shape[-1])))
+    lmax = bandlimit_from_coeff_count(coeffs.shape[-1])
     return SHTPlan(lmax=lmax, grid=grid).inverse(coeffs, real=real)

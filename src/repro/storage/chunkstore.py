@@ -20,6 +20,12 @@ Three encodings trade bytes for fidelity:
   absolute reconstruction error of every chunk is recorded in the
   manifest, so consumers can report exactly how lossy the tier is.
 
+Lossy encodings reject non-finite input: a ``put`` of a chunk holding
+NaN/Inf under ``"float32"``/``"int16"`` raises ``ValueError`` before any
+shard is written (quantising against a NaN midrange would store an
+all-zero payload with ``offset = nan``), while the bit-lossless
+``"float64"`` tier accepts any bit pattern.
+
 A store has one encoding for its whole lifetime (recorded in the
 manifest; reopening with a different one raises), decodes every ``get``
 back to ``float64``, and is safe for concurrent use within a process
@@ -39,6 +45,7 @@ chunks another process added since.
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
 import threading
@@ -53,9 +60,40 @@ CHUNK_ENCODINGS = ("float64", "float32", "int16")
 _MANIFEST_SCHEMA = 1
 
 
-def _encode(array: np.ndarray, encoding: str):
-    """Encode a float64 array; returns ``(payload, scale, offset, max_abs_error)``."""
+def _require_finite(array: np.ndarray, encoding: str) -> None:
+    """Reject non-finite chunks for lossy encodings, before anything is written.
+
+    An ``int16`` encode of a chunk containing NaN/Inf would silently
+    quantise against a non-finite midrange — NaN casts to 0, so the
+    stored payload is all zeros with ``offset = nan`` and the manifest
+    records ``max_abs_error: nan`` — irrecoverable corruption dressed as
+    a stored chunk.  A ``float32`` encode keeps the non-finite values
+    but its measured round-trip error degenerates to NaN, poisoning the
+    manifest's error accounting the same way.  The lossless ``float64``
+    encoding round-trips any bit pattern and stays permissive.
+    """
+    if encoding != "float64" and not np.isfinite(array).all():
+        raise ValueError(
+            f"chunk contains non-finite values (NaN/Inf), which the lossy "
+            f"{encoding!r} encoding cannot represent faithfully; store "
+            f"non-finite chunks with the lossless 'float64' encoding"
+        )
+
+
+def _encode(array: np.ndarray, encoding: str, *, validated: bool = False):
+    """Encode a float64 array; returns ``(payload, scale, offset, max_abs_error)``.
+
+    Raises ``ValueError`` for non-finite input under a lossy encoding —
+    callers invoke this before any shard file is created, so a rejected
+    chunk leaves neither a shard nor a manifest entry behind.
+    ``validated=True`` skips the finiteness scan for callers that
+    already ran :func:`_require_finite` on the exact same array
+    (the batched ``put_many`` pre-validation), so no chunk is scanned
+    twice.
+    """
     array = np.asarray(array, dtype=np.float64)
+    if not validated:
+        _require_finite(array, encoding)
     if encoding == "float64":
         return array, None, None, 0.0
     if encoding == "float32":
@@ -196,10 +234,19 @@ class ChunkStore:
                 os.unlink(tmp)
             raise
 
-    def _write_shard(self, address: str, array: np.ndarray) -> dict:
-        """Encode and write one shard file; returns its manifest entry."""
+    def _write_shard(
+        self, address: str, array: np.ndarray, *, validated: bool = False
+    ) -> dict:
+        """Encode and write one shard file; returns its manifest entry.
+
+        Encoding (including the non-finite rejection, unless the caller
+        pre-``validated`` the array) runs before any file is created, so
+        a rejected chunk leaves nothing on disk.
+        """
         array = np.asarray(array, dtype=np.float64)
-        payload, scale, offset, err = _encode(array, self.encoding)
+        payload, scale, offset, err = _encode(
+            array, self.encoding, validated=validated
+        )
         path = self._shard_path(address)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".shard-")
@@ -266,8 +313,19 @@ class ChunkStore:
             }
         if not pending:
             return 0
+        # Validate the whole batch before writing anything: a non-finite
+        # chunk under a lossy encoding must not leave earlier chunks of
+        # the same batch behind as orphan shards.  The float64 view is
+        # kept and the shard writes are marked pre-validated, so no
+        # chunk is converted or scanned a second time.
+        pending = {
+            address: np.asarray(array, dtype=np.float64)
+            for address, array in pending.items()
+        }
+        for array in pending.values():
+            _require_finite(array, self.encoding)
         entries = {
-            address: self._write_shard(address, array)
+            address: self._write_shard(address, array, validated=True)
             for address, array in pending.items()
         }
         with self._lock:
@@ -302,26 +360,47 @@ class ChunkStore:
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
+    def _max_abs_error_locked(self) -> float:
+        """Deterministic maximum over per-chunk errors, NaN included.
+
+        ``max()`` over floats is order-dependent in the presence of NaN
+        (``max(1.0, nan) == 1.0`` but ``max(nan, 1.0)`` is NaN), and a
+        manifest written before non-finite chunks were rejected can
+        carry ``max_abs_error: nan`` entries.  Any NaN entry makes the
+        store-wide error unknown, so NaN is returned — deterministically,
+        whatever the manifest iteration order.
+        """
+        errors = [float(e["max_abs_error"]) for e in self._chunks.values()]
+        if not errors:
+            return 0.0
+        if any(math.isnan(err) for err in errors):
+            return float("nan")
+        return max(errors)
+
     def max_abs_error(self) -> float:
         """Largest measured reconstruction error across stored chunks.
 
         Exactly ``0.0`` for a lossless (float64) store; the quantized
-        tier's honest error bound otherwise.
+        tier's honest error bound otherwise.  NaN — deterministically,
+        regardless of manifest order — when a pre-existing manifest
+        carries a corrupt ``max_abs_error: nan`` entry (written before
+        non-finite chunks were rejected): the store-wide bound is then
+        unknown, and pretending otherwise would hide the corruption.
         """
         with self._lock:
-            if not self._chunks:
-                return 0.0
-            return max(float(e["max_abs_error"]) for e in self._chunks.values())
+            return self._max_abs_error_locked()
 
     def stats(self) -> dict:
-        """Store observability: chunk count, byte totals, encoding, error."""
+        """Store observability: chunk count, byte totals, encoding, error.
+
+        ``max_abs_error`` follows :meth:`max_abs_error`'s NaN contract:
+        a corrupt pre-existing manifest entry yields NaN, never an
+        order-dependent value.
+        """
         with self._lock:
             encoded = sum(int(e["encoded_bytes"]) for e in self._chunks.values())
             decoded = sum(int(e["decoded_bytes"]) for e in self._chunks.values())
-            err = max(
-                (float(e["max_abs_error"]) for e in self._chunks.values()),
-                default=0.0,
-            )
+            err = self._max_abs_error_locked()
             return {
                 "root": self.root,
                 "encoding": self.encoding,

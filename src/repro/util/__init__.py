@@ -7,8 +7,17 @@ not import from any other ``repro`` subpackage.
 * :mod:`repro.util.registry` — the :class:`BackendRegistry` mechanism
   behind the named SHT and Cholesky-precision backends (re-exported through
   :mod:`repro.api.registry` for the public API).
+* :mod:`repro.util.compare` — bit-exact ``state_dict`` tree comparison,
+  shared by the test-suite and the benchmark harness to pin the
+  determinism contracts.
 """
 
+from repro.util.compare import assert_states_bit_identical
 from repro.util.registry import BackendRegistry, BackendSpec, UnknownBackendError
 
-__all__ = ["BackendRegistry", "BackendSpec", "UnknownBackendError"]
+__all__ = [
+    "BackendRegistry",
+    "BackendSpec",
+    "UnknownBackendError",
+    "assert_states_bit_identical",
+]

@@ -1,17 +1,22 @@
-"""Bit-exactness tests of the batched synthesis hot path.
+"""Bit-exactness tests of the batched synthesis and analysis hot paths.
 
-Two independent guarantees are pinned here:
+Three independent guarantees are pinned here:
 
 * ``batch_size`` (the inverse-SHT working-set cap on a single shared-rng
   emulation) never changes an output bit, for any chunk layout;
 * the multi-stream path (one generator per realization, stacked
   synthesis) is bit-identical to running each generator through the
   serial single-realization path — across chunk boundaries, including
-  ragged final chunks.
+  ragged final chunks;
+* ``batch_size`` on the *fit* side (the forward-SHT working-set cap on
+  the residual analysis) never changes a bit of the fitted state.
 """
 
 import numpy as np
 import pytest
+
+from repro.core import ClimateEmulator, EmulatorConfig
+from repro.util.compare import assert_states_bit_identical
 
 
 class TestBatchSizeInvariance:
@@ -127,6 +132,73 @@ class TestMultiStream:
                     multi_chunk.global_mean_series()[b],
                     serial_chunk.global_mean_series()[0],
                 )
+
+    def test_fit_batch_size_state_bit_identical(self, small_ensemble):
+        """The tentpole contract: batch_size never changes the fitted state."""
+        def fitted_state(batch_size):
+            emulator = ClimateEmulator(EmulatorConfig(
+                lmax=8, n_harmonics=2, var_order=1, tile_size=16,
+                precision_variant="DP", rho_grid=(0.3, 0.7),
+            ))
+            emulator.fit(small_ensemble, batch_size=batch_size)
+            return emulator.state_dict()
+
+        reference = fitted_state(None)
+        for batch_size in (1, 2, 99):
+            assert_states_bit_identical(reference, fitted_state(batch_size))
+
+    def test_facade_fit_accepts_batch_size(self, small_ensemble):
+        import repro
+
+        reference = repro.fit(small_ensemble, lmax=8, var_order=1,
+                              tile_size=16, n_harmonics=2, rho_grid=(0.3, 0.7))
+        batched = repro.fit(small_ensemble, lmax=8, var_order=1,
+                            tile_size=16, n_harmonics=2, rho_grid=(0.3, 0.7),
+                            batch_size=1)
+        assert_states_bit_identical(reference.state_dict(), batched.state_dict())
+
+    def test_spectral_series_batch_sizes_bit_identical(self, fitted_emulator, rng):
+        model = fitted_emulator.spectral_model
+        standardized = rng.standard_normal(
+            (5, 6) + fitted_emulator.training_summary.grid.shape
+        )
+        reference = model.spectral_series(standardized)
+        for batch_size in (1, 2, 5, 99):
+            np.testing.assert_array_equal(
+                model.spectral_series(standardized, batch_size), reference
+            )
+
+    def test_truncation_residual_batch_sizes_bit_identical(
+        self, fitted_emulator, rng
+    ):
+        model = fitted_emulator.spectral_model
+        standardized = rng.standard_normal(
+            (4, 5) + fitted_emulator.training_summary.grid.shape
+        )
+        spectral = model.spectral_series(standardized)
+        reference = model.truncation_residual(standardized, spectral)
+        for batch_size in (1, 3, 99):
+            np.testing.assert_array_equal(
+                model.truncation_residual(standardized, spectral, batch_size),
+                reference,
+            )
+
+    def test_fit_batch_size_validation(self, small_ensemble, fitted_emulator):
+        emulator = ClimateEmulator(EmulatorConfig(
+            lmax=8, n_harmonics=2, var_order=1, tile_size=16,
+            rho_grid=(0.3, 0.7),
+        ))
+        with pytest.raises(ValueError, match="batch_size"):
+            emulator.fit(small_ensemble, batch_size=0)
+        from repro.core.spectral_model import SpectralStochasticModel
+
+        model = SpectralStochasticModel(
+            lmax=8, grid=small_ensemble.grid, var_order=1, tile_size=16,
+        )
+        with pytest.raises(ValueError, match="batch_size"):
+            model.spectral_series(small_ensemble.data, batch_size=-1)
+        with pytest.raises(ValueError, match="batch_size"):
+            model.fit(small_ensemble.data, batch_size=0)
 
     def test_multi_stream_validation(self, fitted_emulator):
         model = fitted_emulator.spectral_model

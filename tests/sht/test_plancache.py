@@ -161,6 +161,23 @@ class TestBytesLimit:
         with pytest.raises(ValueError, match="max_bytes"):
             set_plan_cache_limit(-1)
 
+    def test_plan_bytes_are_fixed_at_insertion(self):
+        """Plans are built eagerly: using one never grows its footprint.
+
+        The bytes-limit eviction measures each plan once per pass on the
+        premise that every table (Wigner, integral, per-order synthesis
+        and analysis operators) exists from ``__post_init__`` — pinned
+        here by exercising both transform directions and checking the
+        measured cache bytes do not move.
+        """
+        grid = Grid.for_bandlimit(6)
+        plan = get_plan("fast", 6, grid)
+        before = plan_cache_stats()["bytes"]
+        assert before > 0
+        coeffs = plan.random_coefficients(np.random.default_rng(0), shape=(3,))
+        plan.forward(plan.inverse(coeffs))
+        assert plan_cache_stats()["bytes"] == before
+
     def test_limit_survives_clear(self):
         set_plan_cache_limit(123456)
         clear_plan_cache()

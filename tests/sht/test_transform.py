@@ -38,6 +38,58 @@ class TestCoefficientIndexing:
         assert ells[0] == 0 and ms[0] == 0
         assert ells[-1] == 2 and ms[-1] == 2
 
+    def test_coeff_lm_exact_near_large_perfect_squares(self):
+        """Regression: float sqrt rounds up near perfect squares.
+
+        ``np.sqrt((2**27)**2 - 1)`` rounds to exactly ``2**27``, so the
+        old float-based ``coeff_lm`` returned the invalid pair
+        ``(134217728, -134217729)`` with ``m < -l``.  The integer-sqrt
+        path must be exact at every boundary index.
+        """
+        for ell in (2**26, 2**27, 10**8, 2**31):
+            last_of_previous = ell * ell - 1          # (l-1, l-1)
+            assert coeff_lm(last_of_previous) == (ell - 1, ell - 1)
+            assert coeff_lm(ell * ell) == (ell, -ell)  # first of degree l
+        # Every returned pair must satisfy |m| <= l.
+        for index in (0, 1, 2, 3, (2**27) ** 2 - 1, (2**27) ** 2):
+            ell, m = coeff_lm(index)
+            assert abs(m) <= ell
+            assert coeff_index(ell, m) == index
+
+    def test_degrees_and_orders_is_exact_and_matches_coeff_lm(self):
+        """The array path uses integer arithmetic only — exact everywhere."""
+        for lmax in (1, 2, 7, 48):
+            ells, ms = degrees_and_orders(lmax)
+            assert np.all(np.abs(ms) <= ells)
+            for index in (0, lmax * lmax - 1, lmax * (lmax - 1)):
+                assert (ells[index], ms[index]) == coeff_lm(index)
+            np.testing.assert_array_equal(ells * ells + ells + ms,
+                                          np.arange(lmax * lmax))
+
+    def test_coeff_lm_rejects_negative(self):
+        with pytest.raises(ValueError):
+            coeff_lm(-1)
+
+    def test_bandlimit_from_coeff_count(self):
+        """The shared exact inverse of num_coeffs, used at every
+        band-limit recovery site (sht_inverse, realform, direct,
+        spectrum) instead of a rounded float sqrt."""
+        from repro.sht.realform import complex_from_real
+        from repro.sht.spectrum import angular_power_spectrum
+        from repro.sht.transform import bandlimit_from_coeff_count
+
+        for lmax in (1, 8, 2**27):
+            assert bandlimit_from_coeff_count(num_coeffs(lmax)) == lmax
+        for bad in (0, -4, 5, 63, (2**27) ** 2 - 1):
+            with pytest.raises(ValueError):
+                bandlimit_from_coeff_count(bad)
+        # The consumers now reject malformed vectors instead of
+        # silently truncating to round(sqrt(n))**2 entries.
+        with pytest.raises(ValueError, match="perfect square"):
+            complex_from_real(np.zeros(5))
+        with pytest.raises(ValueError, match="perfect square"):
+            angular_power_spectrum(np.zeros(63, dtype=complex))
+
 
 class TestPlanValidation:
     def test_rejects_too_small_grid(self):
@@ -144,6 +196,13 @@ class TestAnalyticFields:
 
 
 class TestConvenienceWrappers:
+    def test_sht_inverse_rejects_non_square_coefficient_count(self, small_grid):
+        """The band-limit is recovered exactly, never by float rounding."""
+        with pytest.raises(ValueError, match="perfect square"):
+            sht_inverse(np.zeros(5, dtype=complex), small_grid)
+        with pytest.raises(ValueError, match="perfect square"):
+            sht_inverse(np.zeros(63, dtype=complex), small_grid)
+
     def test_one_shot_roundtrip(self, rng):
         lmax = 5
         grid = Grid.for_bandlimit(lmax)
@@ -204,3 +263,85 @@ class TestBatchedInverse:
         fields = small_plan.inverse(coeffs, real=False)
         assert fields.dtype == np.complex128
         np.testing.assert_array_equal(fields[1], small_plan.inverse(coeffs[1], real=False))
+
+
+class TestBatchedForward:
+    """The GEMM-based analysis contraction and its blocked batch path.
+
+    Mirrors :class:`TestBatchedInverse`: the forward direction carries
+    the same three guarantees — GEMM-vs-reference parity, per-slice
+    bit-equality of batched calls, and block-boundary invariance of the
+    internal FFT blocking — because `fit` relies on them for its
+    ``batch_size`` bit-identity contract.
+    """
+
+    def _fields(self, plan, rng, shape):
+        return plan.inverse(plan.random_coefficients(rng, shape=shape))
+
+    def test_contraction_matches_reference(self, small_plan, rng):
+        fields = self._fields(small_plan, rng, (3, 4))
+        k = small_plan.colatitude_fourier(small_plan.longitude_fourier(fields))
+        fast = small_plan.wigner_contraction_forward(k)
+        reference = small_plan.wigner_contraction_forward_reference(k)
+        assert fast.shape == reference.shape
+        assert np.max(np.abs(fast - reference)) < 1e-12
+
+    def test_contraction_matches_reference_at_higher_bandlimit(self, rng):
+        """Parity pinned where the operators are big enough to matter."""
+        lmax = 24
+        plan = SHTPlan(lmax=lmax, grid=Grid.for_bandlimit(lmax))
+        fields = self._fields(plan, rng, (6,))
+        k = plan.colatitude_fourier(plan.longitude_fourier(fields))
+        fast = plan.wigner_contraction_forward(k)
+        reference = plan.wigner_contraction_forward_reference(k)
+        assert np.max(np.abs(fast - reference)) < 1e-12
+
+    def test_batched_forward_bit_identical_per_slice(self, small_plan, rng):
+        fields = self._fields(small_plan, rng, (7,))
+        batched = small_plan.forward(fields)
+        for b in range(fields.shape[0]):
+            np.testing.assert_array_equal(batched[b], small_plan.forward(fields[b]))
+
+    def test_blocked_analysis_bit_identical_to_single_pass(self, small_plan, rng):
+        """Batches crossing the internal FFT block boundary are unchanged."""
+        from repro.sht import transform
+
+        fields = self._fields(small_plan, rng, (transform._ANALYSIS_BLOCK + 5,))
+        blocked = small_plan.forward(fields)  # > _ANALYSIS_BLOCK leading slices
+        single_pass = small_plan._analyze_block(fields)
+        np.testing.assert_array_equal(blocked, single_pass)
+
+    def test_blocked_analysis_with_ragged_final_single_slice(self, small_plan, rng):
+        """A ragged final block of one slice goes through the gemv-padding guard."""
+        from repro.sht import transform
+
+        fields = self._fields(small_plan, rng, (transform._ANALYSIS_BLOCK + 1,))
+        blocked = small_plan.forward(fields)
+        np.testing.assert_array_equal(blocked[-1], small_plan.forward(fields[-1]))
+        np.testing.assert_array_equal(blocked, small_plan._analyze_block(fields))
+
+    def test_stacked_2d_batch_shape(self, small_plan, rng):
+        fields = self._fields(small_plan, rng, (2, 3))
+        coeffs = small_plan.forward(fields)
+        assert coeffs.shape == (2, 3) + (small_plan.n_coeffs,)
+        np.testing.assert_array_equal(coeffs[1, 2], small_plan.forward(fields[1, 2]))
+
+    def test_complex_input_blocked_path(self, small_plan, rng):
+        from repro.sht import transform
+
+        coeffs = small_plan.random_coefficients(
+            rng, real_field=False, shape=(transform._ANALYSIS_BLOCK + 3,)
+        )
+        fields = small_plan.inverse(coeffs, real=False)
+        recovered = small_plan.forward(fields)
+        assert recovered.dtype == np.complex128
+        np.testing.assert_array_equal(recovered[1], small_plan.forward(fields[1]))
+        assert np.max(np.abs(recovered - coeffs)) < 1e-10
+
+    def test_analysis_operators_are_synthesis_adjoints(self, small_plan):
+        """A_m is the integral matrix applied to the synthesis transpose."""
+        cols_s, ops_s = small_plan._synthesis_operators()
+        cols_a, ops_a = small_plan._analysis_operators()
+        assert cols_a is cols_s  # shared column index lists
+        for op_s, op_a in zip(ops_s, ops_a):
+            np.testing.assert_array_equal(op_a, small_plan.integral @ op_s.T)

@@ -133,6 +133,91 @@ class TestPutMany:
         assert np.array_equal(reopened.get("cc33"), payload + 2.0)
 
 
+class TestNonFiniteRejection:
+    """Regression: lossy encodings must reject NaN/Inf before writing.
+
+    The old ``int16`` encode of a NaN-bearing chunk cast NaN to 0
+    (``RuntimeWarning: invalid value encountered in cast``), silently
+    storing an all-zero payload with ``offset = nan`` and a
+    ``max_abs_error: nan`` manifest entry — corruption dressed as a
+    stored chunk.
+    """
+
+    def _chunks_on_disk(self, tmp_path):
+        shard_root = os.path.join(str(tmp_path), "chunks")
+        return [
+            os.path.join(dirpath, name)
+            for dirpath, _, names in os.walk(shard_root)
+            for name in names
+        ]
+
+    @pytest.mark.parametrize("encoding", ["int16", "float32"])
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_put_non_finite_raises_before_any_write(self, tmp_path, encoding, bad):
+        store = ChunkStore(tmp_path, encoding=encoding)
+        chunk = np.array([[1.0, 2.0], [bad, 4.0]])
+        with pytest.raises(ValueError, match="non-finite"):
+            store.put("bad1", chunk)
+        # No manifest entry, no orphan shard, in memory or on disk.
+        assert "bad1" not in store
+        assert len(store) == 0
+        assert self._chunks_on_disk(tmp_path) == []
+        with open(os.path.join(str(tmp_path), "manifest.json")) as handle:
+            assert json.load(handle)["chunks"] == {}
+        # The store keeps working for finite chunks afterwards.
+        store.put("good", np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert len(store) == 1
+
+    def test_put_many_validates_whole_batch_before_writing(self, tmp_path, payload):
+        store = ChunkStore(tmp_path, encoding="int16")
+        bad = payload.copy()
+        bad[0, 0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            store.put_many({"aa11": payload, "bb22": bad})
+        # The finite sibling must not be left behind as an orphan shard.
+        assert len(store) == 0
+        assert self._chunks_on_disk(tmp_path) == []
+
+    def test_lossless_float64_still_round_trips_non_finite(self, tmp_path):
+        store = ChunkStore(tmp_path, encoding="float64")
+        chunk = np.array([1.0, np.nan, np.inf, -np.inf])
+        entry = store.put("aa11", chunk)
+        assert entry["max_abs_error"] == 0.0
+        np.testing.assert_array_equal(store.get("aa11"), chunk)
+        assert store.max_abs_error() == 0.0
+
+    @pytest.mark.parametrize("nan_position", ["first", "last"])
+    def test_error_reporting_is_nan_proof_for_preexisting_manifests(
+        self, tmp_path, payload, nan_position
+    ):
+        """A corrupt pre-fix manifest entry yields NaN whatever the order.
+
+        ``max()`` over floats is order-dependent under NaN
+        (``max(1.0, nan) == 1.0`` but ``max(nan, 1.0)`` is NaN); the
+        store must report the corruption deterministically.
+        """
+        import math
+
+        store = ChunkStore(tmp_path, encoding="int16")
+        store.put("good", payload)
+        manifest_path = os.path.join(str(tmp_path), "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        corrupt = dict(manifest["chunks"]["good"], max_abs_error=float("nan"))
+        entries = list(manifest["chunks"].items())
+        if nan_position == "first":
+            entries.insert(0, ("aaaa", corrupt))
+        else:
+            entries.append(("zzzz", corrupt))
+        manifest["chunks"] = dict(entries)
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)  # allow_nan writes a NaN literal
+
+        reopened = ChunkStore(tmp_path, encoding="int16")
+        assert math.isnan(reopened.max_abs_error())
+        assert math.isnan(reopened.stats()["max_abs_error"])
+
+
 class TestStats:
     def test_stats_totals(self, tmp_path, payload):
         store = ChunkStore(tmp_path, encoding="int16")
