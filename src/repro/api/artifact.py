@@ -193,16 +193,25 @@ class EmulatorArtifact:
             :data:`SCHEMA_VERSION`.
         """
         path = Path(path)
+        # Open the file ourselves: np.load(path) can leak its file handle
+        # when the zip directory is corrupt (it opens the file before the
+        # NpzFile takes ownership), and the handle is ours to close either way.
         try:
-            archive = np.load(path, allow_pickle=False)
-        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            handle = open(path, "rb")
+        except OSError as exc:
             raise ArtifactError(f"cannot read {path} as an NPZ artifact: {exc}") from exc
-        if not isinstance(archive, np.lib.npyio.NpzFile):
-            # np.load returns a bare array for .npy files without raising.
-            raise ArtifactError(
-                f"{path} is a plain array file, not a {FORMAT_NAME} archive"
-            )
-        with archive:
+        with handle:
+            try:
+                archive = np.load(handle, allow_pickle=False)
+            except (OSError, ValueError, zipfile.BadZipFile) as exc:
+                raise ArtifactError(
+                    f"cannot read {path} as an NPZ artifact: {exc}"
+                ) from exc
+            if not isinstance(archive, np.lib.npyio.NpzFile):
+                # np.load returns a bare array for .npy files without raising.
+                raise ArtifactError(
+                    f"{path} is a plain array file, not a {FORMAT_NAME} archive"
+                )
             if META_KEY not in archive.files:
                 raise ArtifactError(
                     f"{path} is an NPZ file but not a {FORMAT_NAME} "

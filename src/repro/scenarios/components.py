@@ -69,6 +69,22 @@ class ForcingComponent:
         """JSON-able parameters plus the ``kind`` tag for re-dispatch."""
         return {"kind": self.kind, **dataclasses.asdict(self)}
 
+    @classmethod
+    def from_state(cls, state: dict) -> "ForcingComponent":
+        """Rebuild a component from :meth:`state_dict` output.
+
+        Dispatches on the ``kind`` tag through
+        :func:`component_from_state`; calling this on a concrete subclass
+        additionally asserts the rebuilt component is of that subclass.
+        """
+        component = component_from_state(state)
+        if not isinstance(component, cls):
+            raise TypeError(
+                f"state kind {state.get('kind')!r} rebuilds a "
+                f"{type(component).__name__}, not a {cls.__name__}"
+            )
+        return component
+
 
 def component_from_state(state: dict) -> ForcingComponent:
     """Rebuild a component from :meth:`ForcingComponent.state_dict` output.

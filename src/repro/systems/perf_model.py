@@ -312,6 +312,7 @@ class CholeskyPerformanceModel:
         """
         allocation = self.machine.subset(nodes)
         usable = allocation.total_gpu_memory_gb() * 1.0e9 * fill_fraction
+        # reprolint: allow[index-recovery] analytic sizing heuristic on floats, not an exact index/band-limit recovery
         return int(np.sqrt(2.0 * usable / bytes_per_element))
 
     def weak_scaling(
@@ -327,6 +328,7 @@ class CholeskyPerformanceModel:
         estimates = []
         for g in gpu_counts:
             nodes = max(1, int(np.ceil(g / self.machine.node.gpus_per_node)))
+            # reprolint: allow[index-recovery] analytic sizing heuristic on floats, not an exact index/band-limit recovery
             n = int(np.sqrt(elements_per_gpu * g))
             estimates.append(self.estimate(n, nodes, variant))
         return ScalingStudy(kind="weak", variant=variant, gpus=list(gpu_counts), estimates=estimates)

@@ -1,0 +1,16 @@
+"""Make the ``tools`` package importable for the lint tests.
+
+The repository is laid out with runtime code importable via
+``PYTHONPATH=src`` and dev tooling under ``tools/`` at the repo root;
+the lint tests exercise the tooling, so the repo root itself has to be
+on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))

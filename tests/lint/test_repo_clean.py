@@ -1,0 +1,93 @@
+"""The tier-1 gate: the repository's own tree must lint clean.
+
+This is the pytest wrapper around ``python -m tools.reprolint src tools
+benchmarks`` — the same analysis CI runs as a dedicated job.  It also
+pins the two regressions the analyzer exists to prevent from coming
+back: PR 5's float-sqrt band-limit recovery and an unlocked mutation of
+``EmulationService``-owned shared state.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from tools.reprolint import Baseline, lint_paths, lint_source
+from tools.reprolint.cli import DEFAULT_BASELINE, DEFAULT_PATHS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRepoTreeIsClean:
+    def test_src_tools_benchmarks_lint_clean(self):
+        baseline = Baseline.load(DEFAULT_BASELINE, REPO_ROOT)
+        report = lint_paths(REPO_ROOT, DEFAULT_PATHS, baseline=baseline)
+        assert report.scanned > 50  # the whole tree, not an empty glob
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.ok, f"reprolint findings on the tree:\n{rendered}"
+
+    def test_baseline_stays_minimal_and_justified(self):
+        """Every baseline entry must carry a reason; staleness is enforced
+        at runtime (a non-matching entry fails the clean-tree test above
+        as ``stale-baseline``), so together the baseline can only shrink."""
+        payload = json.loads(DEFAULT_BASELINE.read_text(encoding="utf-8"))
+        assert set(payload) == {"entries"}
+        for entry in payload["entries"]:
+            assert entry.get("reason", "").strip(), (
+                f"baseline entry {entry} has no reason; grandfathered "
+                "findings must say why they are deferred"
+            )
+
+
+class TestAcceptanceRegressions:
+    """The exact historical bugs the analyzer must keep out of the tree."""
+
+    def test_pr5_float_sqrt_bandlimit_recovery_fails_lint(self):
+        # The pre-PR-5 pattern from coeff_lm: recovering l from a linear
+        # coefficient index through a float sqrt, off-by-one near large
+        # perfect squares.
+        source = textwrap.dedent("""
+            import numpy as np
+
+            def coeff_lm(index):
+                l = int(round(np.sqrt(index)))
+                m = index - l * l - l
+                return l, m
+        """)
+        findings = lint_source(source, "src/repro/sht/coeffs.py",
+                               rules=["index-recovery"])
+        # Both the int() cast and the inner round() fire on the line.
+        assert findings and {f.rule for f in findings} == {"index-recovery"}
+
+    def test_unlocked_chunkcache_mutation_fails_lint(self):
+        # An EmulationService-shaped class mutating its _ChunkCache and
+        # flight table outside `with self._lock:` — the race the
+        # lock-discipline checker exists to catch.
+        source = textwrap.dedent("""
+            import threading
+            from collections import OrderedDict
+
+            class EmulationService:
+                def __init__(self, emulator, cache_bytes):
+                    self._lock = threading.Lock()
+                    self._cache = _ChunkCache(cache_bytes)
+                    self._flights = {}
+                    self._streams = OrderedDict()
+
+                def get(self, request):
+                    chunk = self._cache.get(request.address())
+                    if chunk is None:
+                        chunk = self._synthesise(request)
+                        self._cache.put(request.address(), chunk)
+                    return chunk
+        """)
+        findings = lint_source(source, "src/repro/serving/service.py",
+                               rules=["lock-discipline"])
+        assert len(findings) >= 2
+        assert {f.rule for f in findings} == {"lock-discipline"}
+
+    def test_the_real_service_stays_clean(self):
+        report = lint_paths(REPO_ROOT, ["src/repro/serving"],
+                            rules=["lock-discipline"])
+        assert report.ok, "\n".join(f.render() for f in report.findings)

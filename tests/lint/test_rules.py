@@ -1,0 +1,484 @@
+"""Per-rule fixture tests: each rule fires on its target pattern, stays
+quiet on the compliant variant, and honours a reasoned pragma."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from tools.reprolint import lint_source
+
+
+def run(source: str, relpath: str = "src/repro/example.py", rules=None):
+    return lint_source(textwrap.dedent(source), relpath, rules=rules)
+
+
+def rule_ids(findings) -> list:
+    return [finding.rule for finding in findings]
+
+
+# --------------------------------------------------------------------- #
+# lock-discipline
+# --------------------------------------------------------------------- #
+SERVICE_UNLOCKED = """
+    import threading
+
+    class Service:
+        def __init__(self, store):
+            self._lock = threading.Lock()
+            self._cache = _ChunkCache(64)
+            self._flights = {}
+            self._hits = 0
+
+        def get(self, addr):
+            self._hits += 1
+            return self._cache.get(addr)
+"""
+
+SERVICE_LOCKED = """
+    import threading
+
+    class Service:
+        def __init__(self, store):
+            self._lock = threading.Lock()
+            self._cache = _ChunkCache(64)
+            self._flights = {}
+            self._hits = 0
+
+        def get(self, addr):
+            with self._lock:
+                self._hits += 1
+                return self._cache.get(addr)
+
+        def _evict_locked(self, addr):
+            del self._flights[addr]
+"""
+
+
+class TestLockDiscipline:
+    def test_unlocked_counter_and_cache_access_fire(self):
+        findings = run(SERVICE_UNLOCKED, rules=["lock-discipline"])
+        assert rule_ids(findings) == ["lock-discipline", "lock-discipline"]
+        assert "self._hits" in findings[0].message
+        assert "self._cache" in findings[1].message
+
+    def test_locked_and_locked_suffix_accesses_are_clean(self):
+        assert run(SERVICE_LOCKED, rules=["lock-discipline"]) == []
+
+    def test_immutable_config_attrs_are_freely_readable(self):
+        source = """
+            import threading
+
+            class Service:
+                def __init__(self, store, seed):
+                    self._lock = threading.Lock()
+                    self._store = store
+                    self._seed = seed
+                    self._flights = {}
+
+                def describe(self):
+                    return (self._store, self._seed)
+        """
+        assert run(source, rules=["lock-discipline"]) == []
+
+    def test_module_level_lock_guards_module_globals(self):
+        source = """
+            import threading
+
+            _LOCK = threading.Lock()
+            _CACHE = {}
+            _HITS = 0
+
+            def lookup(key):
+                global _HITS
+                _HITS += 1
+                return _CACHE.get(key)
+        """
+        findings = run(source, relpath="src/repro/sht/example.py",
+                       rules=["lock-discipline"])
+        assert rule_ids(findings) == ["lock-discipline", "lock-discipline"]
+
+    def test_class_without_lock_is_out_of_scope(self):
+        source = """
+            class Plain:
+                def __init__(self):
+                    self._cache = {}
+
+                def get(self, key):
+                    return self._cache.get(key)
+        """
+        assert run(source, rules=["lock-discipline"]) == []
+
+    def test_pragma_with_reason_suppresses(self):
+        source = SERVICE_UNLOCKED.replace(
+            "self._hits += 1",
+            "self._hits += 1  # reprolint: allow[lock-discipline] "
+            "stat counter, torn reads acceptable",
+        ).replace(
+            "return self._cache.get(addr)",
+            "# reprolint: allow[lock-discipline] single-threaded test double\n"
+            "        return self._cache.get(addr)",
+        )
+        assert run(source, rules=["lock-discipline"]) == []
+
+
+# --------------------------------------------------------------------- #
+# determinism
+# --------------------------------------------------------------------- #
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "np.random.seed(0)",
+            "x = np.random.rand(3)",
+            "import random",
+            "t = time.time()",
+            "now = datetime.datetime.now()",
+        ],
+    )
+    def test_global_entropy_and_wall_clock_fire(self, stmt):
+        source = f"import time\nimport datetime\nimport numpy as np\n{stmt}\n"
+        findings = lint_source(source, "src/repro/core/example.py",
+                               rules=["determinism"])
+        assert rule_ids(findings) == ["determinism"]
+
+    def test_generator_api_and_perf_counter_are_clean(self):
+        source = """
+            import time
+            import numpy as np
+
+            def sample(seed):
+                rng = np.random.default_rng(np.random.SeedSequence(seed))
+                start = time.perf_counter()
+                return rng.standard_normal(4), time.perf_counter() - start
+        """
+        assert run(source, rules=["determinism"]) == []
+
+    def test_rule_is_scoped_to_src_repro(self):
+        findings = lint_source("import random\n", "tools/example.py",
+                               rules=["determinism"])
+        assert findings == []
+
+    def test_pragma_with_reason_suppresses(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # reprolint: allow[determinism] "
+            "wall-clock label on a report, not a code path\n"
+        )
+        assert lint_source(source, "src/repro/core/example.py",
+                           rules=["determinism"]) == []
+
+
+# --------------------------------------------------------------------- #
+# index-recovery
+# --------------------------------------------------------------------- #
+class TestIndexRecovery:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "int(np.sqrt(n_coeffs))",
+            "round(math.sqrt(n_coeffs))",
+            "int(round(np.sqrt(n_coeffs)))",
+        ],
+    )
+    def test_float_sqrt_index_recovery_fires(self, expr):
+        source = f"import math\nimport numpy as np\nn_coeffs = 25\nlmax = {expr} - 1\n"
+        findings = lint_source(source, rules=["index-recovery"])
+        assert "index-recovery" in rule_ids(findings)
+
+    def test_isqrt_is_clean(self):
+        source = "import math\nn_coeffs = 25\nlmax = math.isqrt(n_coeffs) - 1\n"
+        assert lint_source(source, rules=["index-recovery"]) == []
+
+    def test_plain_float_sqrt_without_cast_is_clean(self):
+        source = "import numpy as np\nsigma = np.sqrt(variance)\nvariance = 4.0\n"
+        assert lint_source(source, rules=["index-recovery"]) == []
+
+    def test_pragma_with_reason_suppresses(self):
+        source = (
+            "import numpy as np\n"
+            "usable = 1.0e9\n"
+            "# reprolint: allow[index-recovery] sizing heuristic on floats\n"
+            "n = int(np.sqrt(usable))\n"
+        )
+        assert lint_source(source, rules=["index-recovery"]) == []
+
+
+# --------------------------------------------------------------------- #
+# state-protocol
+# --------------------------------------------------------------------- #
+class TestStateProtocol:
+    def test_state_dict_without_from_state_fires(self):
+        source = """
+            class Stage:
+                def state_dict(self):
+                    return {}
+        """
+        findings = run(source, rules=["state-protocol"])
+        assert rule_ids(findings) == ["state-protocol"]
+
+    def test_from_state_without_state_dict_fires(self):
+        source = """
+            class Stage:
+                @classmethod
+                def from_state(cls, state):
+                    return cls()
+        """
+        findings = run(source, rules=["state-protocol"])
+        assert rule_ids(findings) == ["state-protocol"]
+
+    def test_from_state_must_be_a_classmethod(self):
+        source = """
+            class Stage:
+                def state_dict(self):
+                    return {}
+
+                def from_state(self, state):
+                    return Stage()
+        """
+        findings = run(source, rules=["state-protocol"])
+        assert rule_ids(findings) == ["state-protocol"]
+        assert "classmethod" in findings[0].message
+
+    def test_paired_protocol_is_clean(self):
+        source = """
+            class Stage:
+                def state_dict(self):
+                    return {}
+
+                @classmethod
+                def from_state(cls, state):
+                    return cls()
+        """
+        assert run(source, rules=["state-protocol"]) == []
+
+    def test_pragma_with_reason_suppresses(self):
+        source = """
+            # reprolint: allow[state-protocol] serialises through the component registry
+            class Stage:
+                def state_dict(self):
+                    return {}
+        """
+        assert run(source, rules=["state-protocol"]) == []
+
+
+# --------------------------------------------------------------------- #
+# nonfinite-write
+# --------------------------------------------------------------------- #
+class TestNonFiniteWrite:
+    def test_unvalidated_savez_fires(self):
+        source = """
+            import numpy as np
+
+            def write_shard(path, payload):
+                np.savez(path, **payload)
+        """
+        findings = run(source, relpath="src/repro/storage/example.py",
+                       rules=["nonfinite-write"])
+        assert rule_ids(findings) == ["nonfinite-write"]
+
+    def test_transitively_validated_savez_is_clean(self):
+        source = """
+            import numpy as np
+
+            def _require_finite(arr):
+                if not np.isfinite(arr).all():
+                    raise ValueError("non-finite payload")
+
+            def _encode(arr):
+                _require_finite(arr)
+                return arr
+
+            def write_shard(path, arr):
+                np.savez(path, arr=_encode(arr))
+        """
+        assert run(source, relpath="src/repro/storage/example.py",
+                   rules=["nonfinite-write"]) == []
+
+    def test_rule_is_scoped_to_storage(self):
+        source = "import numpy as np\n\ndef dump(p, a):\n    np.savez(p, a=a)\n"
+        assert lint_source(source, "src/repro/core/example.py",
+                           rules=["nonfinite-write"]) == []
+
+    def test_pragma_with_reason_suppresses(self):
+        source = """
+            import numpy as np
+
+            def write_raw(path, payload):
+                # reprolint: allow[nonfinite-write] payload validated by the caller
+                np.savez(path, **payload)
+        """
+        assert run(source, relpath="src/repro/storage/example.py",
+                   rules=["nonfinite-write"]) == []
+
+
+# --------------------------------------------------------------------- #
+# api-hygiene (project rule: needs a miniature source tree on disk)
+# --------------------------------------------------------------------- #
+class TestApiHygiene:
+    @staticmethod
+    def write_tree(root, *, init, module="", api_md=None):
+        package = root / "src" / "repro"
+        package.mkdir(parents=True)
+        (package / "__init__.py").write_text(textwrap.dedent(init))
+        if module:
+            (package / "mod.py").write_text(textwrap.dedent(module))
+        if api_md is not None:
+            docs = root / "docs"
+            docs.mkdir()
+            (docs / "api.md").write_text(api_md)
+
+    @staticmethod
+    def lint(root):
+        from tools.reprolint import lint_paths
+
+        report = lint_paths(root, ["src"], rules=["api-hygiene"])
+        return report.findings
+
+    def test_resolvable_documented_sorted_api_is_clean(self, tmp_path):
+        self.write_tree(
+            tmp_path,
+            init="""
+                from repro.mod import alpha, beta
+
+                __all__ = ["alpha", "beta"]
+            """,
+            module="""
+                def alpha():
+                    \"\"\"First public helper.\"\"\"
+
+                def beta():
+                    \"\"\"Second public helper.\"\"\"
+            """,
+            api_md="# API\n\n`alpha` and `beta` are documented here.\n",
+        )
+        assert self.lint(tmp_path) == []
+
+    def test_unresolvable_export_fires(self, tmp_path):
+        self.write_tree(
+            tmp_path,
+            init='__all__ = ["ghost"]\n',
+            api_md="`ghost`\n",
+        )
+        findings = self.lint(tmp_path)
+        assert rule_ids(findings) == ["api-hygiene"]
+        assert "does not resolve" in findings[0].message
+
+    def test_missing_docstring_and_missing_doc_listing_fire(self, tmp_path):
+        self.write_tree(
+            tmp_path,
+            init="""
+                from repro.mod import alpha, beta
+
+                __all__ = ["alpha", "beta"]
+            """,
+            module="""
+                def alpha():
+                    \"\"\"Documented.\"\"\"
+
+                def beta():
+                    pass
+            """,
+            api_md="Only `alpha` is listed.\n",
+        )
+        messages = [finding.message for finding in self.lint(tmp_path)]
+        assert len(messages) == 2
+        assert any("no docstring" in message for message in messages)
+        assert any("does not appear" in message for message in messages)
+
+    def test_unsorted_all_fires(self, tmp_path):
+        self.write_tree(
+            tmp_path,
+            init="""
+                from repro.mod import alpha, beta
+
+                __all__ = ["beta", "alpha"]
+            """,
+            module="""
+                def alpha():
+                    \"\"\"First.\"\"\"
+
+                def beta():
+                    \"\"\"Second.\"\"\"
+            """,
+            api_md="`alpha` `beta`\n",
+        )
+        findings = self.lint(tmp_path)
+        assert rule_ids(findings) == ["api-hygiene"]
+        assert "sorted" in findings[0].message
+
+
+# --------------------------------------------------------------------- #
+# mutable-default
+# --------------------------------------------------------------------- #
+class TestMutableDefault:
+    @pytest.mark.parametrize(
+        "signature",
+        ["x=[]", "x={}", "x=set()", "*, x=[1, 2]", "x=dict(a=1)"],
+    )
+    def test_mutable_defaults_fire(self, signature):
+        findings = run(f"def f({signature}):\n    return x\n",
+                       rules=["mutable-default"])
+        assert rule_ids(findings) == ["mutable-default"]
+
+    @pytest.mark.parametrize("signature", ["x=()", "x=None", "x=0", "x=frozenset()"])
+    def test_immutable_defaults_are_clean(self, signature):
+        assert run(f"def f({signature}):\n    return x\n",
+                   rules=["mutable-default"]) == []
+
+    def test_pragma_with_reason_suppresses(self):
+        source = (
+            "def f(x=[]):  # reprolint: allow[mutable-default] "
+            "sentinel list never mutated\n"
+            "    return x\n"
+        )
+        assert run(source, rules=["mutable-default"]) == []
+
+
+# --------------------------------------------------------------------- #
+# bare-except
+# --------------------------------------------------------------------- #
+class TestBareExcept:
+    def test_bare_except_fires(self):
+        source = """
+            def f():
+                try:
+                    work()
+                except:
+                    raise
+        """
+        findings = run(source, rules=["bare-except"])
+        assert rule_ids(findings) == ["bare-except"]
+
+    def test_swallowing_handler_fires(self):
+        source = """
+            def f():
+                try:
+                    work()
+                except ValueError:
+                    pass
+        """
+        findings = run(source, rules=["bare-except"])
+        assert rule_ids(findings) == ["bare-except"]
+
+    def test_handled_exception_is_clean(self):
+        source = """
+            def f(log):
+                try:
+                    work()
+                except ValueError as exc:
+                    log(exc)
+        """
+        assert run(source, rules=["bare-except"]) == []
+
+    def test_pragma_with_reason_suppresses(self):
+        source = """
+            def f():
+                try:
+                    work()
+                # reprolint: allow[bare-except] best-effort cleanup on shutdown
+                except Exception:
+                    pass
+        """
+        assert run(source, rules=["bare-except"]) == []

@@ -1,0 +1,7 @@
+"""Repository tooling: documentation generators and the reprolint analyzer.
+
+This marker makes ``tools`` importable so the static-analysis framework
+can be invoked as ``python -m tools.reprolint`` from the repository root
+(and imported by the test-suite).  The standalone scripts
+(``check_docs.py``, ``gen_api_docs.py``) keep working unchanged.
+"""

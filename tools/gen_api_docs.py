@@ -86,6 +86,7 @@ def generate() -> str:
     import repro
     from repro.api.artifact import EmulatorArtifact
     from repro.core.window import SpatialWindow
+    from repro.data.era5_like import Era5LikeConfig, Era5LikeGenerator
     from repro.linalg.policies import CHOLESKY_VARIANTS
     from repro.scenarios.campaign import (
         CampaignManifest,
@@ -151,6 +152,16 @@ def generate() -> str:
         parts.append(_entry(qualname, obj))
     parts.append(_entry("repro.CampaignManifest", CampaignManifest,
                         methods=("run", "collected", "to_dict", "save")))
+
+    parts.append("## Data\n")
+    parts.append(
+        "The synthetic ERA5-like dataset the pipeline fits against when no\n"
+        "reanalysis archive is on disk: spectrally coloured, seed-addressed\n"
+        "fields on the same Gauss–Legendre grid the emulator uses.\n"
+    )
+    parts.append(_entry("repro.Era5LikeConfig", Era5LikeConfig))
+    parts.append(_entry("repro.Era5LikeGenerator", Era5LikeGenerator,
+                        methods=("generate",)))
 
     parts.append("## Artifacts\n")
     parts.append(_entry("repro.EmulatorArtifact", EmulatorArtifact,

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m tools.reprolint``."""
+
+from tools.reprolint.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline exists so the analyzer can land (and gate CI) on a tree
+with known, deliberately deferred findings without blessing *new* ones.
+It is a JSON file of entries, each carrying a mandatory reason::
+
+    {
+      "entries": [
+        {"rule": "lock-discipline",
+         "path": "src/repro/serving/service.py",
+         "contains": "self._requests += 1",
+         "reason": "migrating to per-counter atomics in the next PR"}
+      ]
+    }
+
+Matching is by ``(rule, path)`` plus a ``contains`` substring of the
+offending line — line numbers are deliberately *not* part of an entry so
+unrelated edits above a finding do not invalidate the baseline.  The
+baseline must stay **minimal**: an entry that matches no current finding
+is reported as a ``stale-baseline`` finding (and an entry without a
+reason as ``bad-baseline``), so the file can only ever shrink toward
+empty as findings are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from tools.reprolint.model import Finding
+
+__all__ = [
+    "BAD_BASELINE",
+    "STALE_BASELINE",
+    "Baseline",
+    "BaselineEntry",
+]
+
+#: Framework rule ids for baseline self-checks.
+STALE_BASELINE = "stale-baseline"
+BAD_BASELINE = "bad-baseline"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    contains: str
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and finding.path == self.path
+            and self.contains in finding.snippet
+        )
+
+
+class Baseline:
+    """The parsed baseline file plus its own validity findings."""
+
+    def __init__(self, entries: "list[BaselineEntry]", relpath: str):
+        self.entries = entries
+        self.relpath = relpath
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([], "<no baseline>")
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "Baseline":
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        if not path.exists():
+            return cls([], relpath)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=str(raw.get("rule", "")),
+                path=str(raw.get("path", "")),
+                contains=str(raw.get("contains", "")),
+                reason=str(raw.get("reason", "")).strip(),
+            )
+            for raw in data.get("entries", [])
+        ]
+        return cls(entries, relpath)
+
+    def apply(
+        self, findings: "list[Finding]"
+    ) -> "tuple[list[Finding], list[Finding], int]":
+        """Split findings into (kept, baseline-self-findings, suppressed).
+
+        Every baseline entry must carry a reason and match at least one
+        current finding; violations surface as findings themselves so a
+        rotten baseline fails the run exactly like a rotten tree.
+        """
+        kept: list[Finding] = []
+        suppressed = 0
+        used = [False] * len(self.entries)
+        for finding in findings:
+            matched = False
+            for index, entry in enumerate(self.entries):
+                if entry.reason and entry.matches(finding):
+                    used[index] = True
+                    matched = True
+            if matched:
+                suppressed += 1
+            else:
+                kept.append(finding)
+        self_findings: list[Finding] = []
+        for index, entry in enumerate(self.entries):
+            if not entry.reason:
+                self_findings.append(
+                    Finding(
+                        rule=BAD_BASELINE,
+                        path=self.relpath,
+                        line=0,
+                        message=(
+                            f"baseline entry for [{entry.rule}] {entry.path} "
+                            f"has no reason; every grandfathered finding "
+                            f"must say why it is deferred"
+                        ),
+                        snippet=entry.contains,
+                    )
+                )
+            elif not used[index]:
+                self_findings.append(
+                    Finding(
+                        rule=STALE_BASELINE,
+                        path=self.relpath,
+                        line=0,
+                        message=(
+                            f"baseline entry for [{entry.rule}] {entry.path} "
+                            f"({entry.contains!r}) matches no current finding; "
+                            f"delete it — the baseline must stay minimal"
+                        ),
+                        snippet=entry.contains,
+                    )
+                )
+        return kept, self_findings, suppressed

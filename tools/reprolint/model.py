@@ -1,0 +1,143 @@
+"""Core data model of the analyzer: findings, parsed modules, pragmas.
+
+A :class:`Finding` is one rule violation at one source location.  A
+:class:`ModuleUnit` is one parsed file (path, source, AST) handed to every
+rule.  Pragma parsing lives here too because suppression is a property of
+the *source line*, not of any individual rule: a line carrying
+``# reprolint: allow[rule-id] reason`` suppresses that rule's findings on
+the line (a pragma on a line of its own applies to the next line), and a
+pragma without a reason suppresses nothing — it becomes a
+``bad-pragma`` finding instead, so intent can never be silent.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "BAD_PRAGMA",
+    "Finding",
+    "ModuleUnit",
+    "Pragma",
+    "parse_pragmas",
+]
+
+#: Framework-emitted rule id for malformed suppression pragmas.
+BAD_PRAGMA = "bad-pragma"
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*allow\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    snippet: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}"
+        text = f"{location}: [{self.rule}] {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A parsed ``# reprolint: allow[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    #: Line the pragma suppresses (itself, or the next line when the
+    #: pragma stands on a line of its own).
+    target_line: int
+
+
+class ModuleUnit:
+    """One parsed source file as seen by every rule."""
+
+    def __init__(self, relpath: str, source: str, tree: ast.Module):
+        #: Path relative to the analysis root, POSIX separators.
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.pragmas = parse_pragmas(source)
+
+    @classmethod
+    def from_file(cls, path: Path, root: Path) -> "ModuleUnit":
+        source = path.read_text(encoding="utf-8")
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        tree = ast.parse(source, filename=relpath)
+        return cls(relpath, source, tree)
+
+    def line_text(self, line: int) -> str:
+        """Stripped source text of a 1-indexed line ('' when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node_or_line, message: str) -> Finding:
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=int(line),
+            message=message,
+            snippet=self.line_text(int(line)),
+        )
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Every ``# reprolint: allow[...]`` pragma in a file, in order.
+
+    Only real ``#`` comments count — the source is tokenized, so pragma
+    *examples* inside docstrings or string literals are inert.  The
+    pragma's ``target_line`` is its own line when it trails code, or the
+    following line when the pragma is the only thing on its line — so
+    long suppressed statements can keep the reason readable above them.
+    """
+    pragmas: list[Pragma] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return pragmas
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = match.group("reason").strip()
+        line = token.start[0]
+        code_before = lines[line - 1][: token.start[1]].strip()
+        target = line if code_before else line + 1
+        pragmas.append(
+            Pragma(line=line, rules=rules, reason=reason, target_line=target)
+        )
+    return pragmas

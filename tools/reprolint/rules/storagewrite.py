@@ -1,0 +1,100 @@
+"""Non-finite-write guard for the persistent storage layer.
+
+PR 5's other corruption bug: an ``int16`` encode of a NaN chunk wrote an
+all-zero payload behind a ``max_abs_error: nan`` manifest entry.  The
+fix routes every shard write through :func:`_require_finite` *before*
+anything touches disk.  This rule keeps that invariant structural: in
+``src/repro/storage/``, any function that calls ``np.savez`` /
+``np.savez_compressed`` / ``np.save`` must reach a
+``*require_finite*``-named validator through the module's own call
+graph (directly, or via helpers like ``_encode``), so a future writer
+path cannot quietly skip validation.
+
+The reachability check is transitive within the module: ``_write_shard``
+passes because it calls ``_encode`` which calls ``_require_finite``.
+A deliberately unvalidated writer (e.g. a lossless-only debug dump)
+gets a pragma with its reason, not an exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.reprolint.model import Finding, ModuleUnit
+from tools.reprolint.rulebase import LINT_RULES, ProjectContext, Rule, dotted_name
+
+__all__ = ["NonFiniteWriteRule"]
+
+_WRITERS = {"savez", "savez_compressed", "save"}
+
+
+@LINT_RULES.register(
+    "nonfinite-write",
+    description=(
+        "storage/ shard writers must be dominated by a _require_finite-style "
+        "validation call"
+    ),
+)
+class NonFiniteWriteRule(Rule):
+    id = "nonfinite-write"
+    hint = (
+        "call _require_finite (directly or through the encode helper) before "
+        "the write, so lossy encodings can never persist NaN/Inf silently"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/storage/")
+
+    def check_module(
+        self, unit: ModuleUnit, ctx: ProjectContext
+    ) -> Iterable[Finding]:
+        # Module call graph keyed on bare function names: good enough for
+        # a module's own helpers, which is the only scope that matters.
+        functions: dict[str, ast.AST] = {}
+        for node in ast.walk(unit.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[node.name] = node
+
+        calls: dict[str, set[str]] = {}
+        for name, func in functions.items():
+            called: set[str] = set()
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call):
+                    target = dotted_name(node.func).split(".")[-1]
+                    if target:
+                        called.add(target)
+            calls[name] = called
+
+        def reaches_validator(name: str, seen: "set[str]") -> bool:
+            if name in seen:
+                return False
+            seen.add(name)
+            for target in calls.get(name, ()):
+                if "require_finite" in target:
+                    return True
+                if target in functions and reaches_validator(target, seen):
+                    return True
+            return False
+
+        findings: list[Finding] = []
+        for name, func in functions.items():
+            writer_calls = [
+                node for node in ast.walk(func)
+                if isinstance(node, ast.Call)
+                and dotted_name(node.func).split(".")[-1] in _WRITERS
+                and dotted_name(node.func).split(".")[0] in {"np", "numpy"}
+            ]
+            if not writer_calls:
+                continue
+            if reaches_validator(name, set()):
+                continue
+            for call in writer_calls:
+                findings.append(
+                    unit.finding(
+                        self.id, call,
+                        f"{name} writes arrays to disk without any reachable "
+                        f"*require_finite* validation; {self.hint}",
+                    )
+                )
+        return findings
