@@ -13,9 +13,16 @@ This script is the scenario-engine counterpart of the quickstart:
 4. verify the sharded campaign is bit-identical to the serial run (every
    run is pinned to its own ``SeedSequence.spawn`` stream),
 5. print the campaign manifest and the storage "boost factor": how many
-   bytes of archive-equivalent output one small artifact emitted.
+   bytes of archive-equivalent output one small artifact emitted,
+6. stand up the on-demand serving tier over the same artifact — an
+   ``EmulationService`` backed by a persistent ``ChunkStore`` — and show
+   a request served cold (synthesized + stored) then hot (from cache).
 
 Run with:  PYTHONPATH=src python examples/scenario_campaign.py
+
+Tracing: set ``REPRO_TRACE=trace.jsonl`` to record every span this
+script opens (fit, SHT, plan cache, campaign runs, serving, chunk
+store) and profile it with ``python tools/tracereport.py trace.jsonl``.
 """
 
 from __future__ import annotations
@@ -103,6 +110,29 @@ def main() -> None:
               f"across {report['n_runs']} runs")
         print(f"  boost factor:      {report['boost_factor']:.1f}x "
               f"(grows with scenarios, realizations and record length)")
+        print(f"  campaign wall:     {report['wall_seconds']:.2f} s "
+              f"({report['runs_per_second']:.1f} runs/s, "
+              f"{format_bytes(int(report['output_bytes_per_second']))}/s)")
+
+        # 6. The serving tier: the same artifact answers field requests
+        #    on demand, write-through to a persistent chunk store.
+        service = repro.serve(emulator, seed=2024,
+                              store=os.path.join(tmp_dir, "chunk-store"))
+        request = repro.FieldRequest("delayed-drawdown", realization=0,
+                                     year_start=0, year_stop=2)
+        cold = service.get(request)     # synthesized, cached, stored
+        hot = service.get(request)      # served from the chunk cache
+        stats = service.stats()
+        print("\nOn-demand serving (same artifact, chunk store attached):")
+        print(f"  request:           {request.scenario} r{request.realization} "
+              f"years [{request.year_start}, {request.year_stop}) -> "
+              f"field {cold.shape}, bit-identical on re-request: "
+              f"{np.array_equal(cold, hot)}")
+        print(f"  service counters:  {stats['requests']} requests, "
+              f"{stats['request_hits']} hits, "
+              f"{format_bytes(stats['served_bytes'])} served")
+        print(f"  chunk store:       {stats['store']['n_chunks']} chunks, "
+              f"{format_bytes(stats['store']['encoded_bytes'])} on disk")
 
 
 if __name__ == "__main__":

@@ -37,6 +37,11 @@ Using Exascale Climate Emulators" (Abdulah et al., SC 2024):
   claims, plus the persistent quantizable :class:`ChunkStore` tier.
 * :mod:`repro.stats` — statistical-consistency diagnostics between
   simulations and emulations.
+* :mod:`repro.obs` — the unified telemetry layer: a thread-safe metrics
+  registry plus hierarchical tracing spans instrumenting every hot path
+  (fit, both SHT directions, the plan cache, serving, chunk-store I/O
+  and campaigns), exported as JSON-lines traces for
+  ``tools/tracereport.py``.
 
 Quickstart
 ----------
@@ -51,8 +56,9 @@ Quickstart
 ...     n_realizations=5, max_workers=4)
 """
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
+from repro import obs
 from repro.core.config import EmulatorConfig
 from repro.core.emulator import ClimateEmulator
 from repro.core.window import SpatialWindow
@@ -113,6 +119,7 @@ __all__ = [
     "iter_chunk_arrays",
     "list_scenarios",
     "load",
+    "obs",
     "plan_cache_stats",
     "register_scenario",
     "run_campaign",

@@ -26,6 +26,7 @@ from repro.api.artifact import EmulatorArtifact
 from repro.core.config import EmulatorConfig
 from repro.core.emulator import ClimateEmulator
 from repro.data.ensemble import ClimateEnsemble
+from repro.obs import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scenarios.spec import ScenarioSpec
@@ -72,7 +73,14 @@ def fit(
         config = EmulatorConfig(**overrides)
     elif overrides:
         config = dataclasses.replace(config, **overrides)
-    return ClimateEmulator(config).fit(ensemble, batch_size=batch_size)
+    with span(
+        "facade.fit",
+        lmax=config.lmax,
+        n_ensemble=ensemble.data.shape[0],
+        n_times=ensemble.data.shape[1],
+        bytes=ensemble.data.nbytes,
+    ):
+        return ClimateEmulator(config).fit(ensemble, batch_size=batch_size)
 
 
 def save(emulator: ClimateEmulator, path: "str | os.PathLike") -> str:
@@ -81,7 +89,8 @@ def save(emulator: ClimateEmulator, path: "str | os.PathLike") -> str:
     All fitted arrays are stored at full ``float64`` precision, so a
     :func:`load` round trip rebuilds a bit-exactly equivalent emulator.
     """
-    return emulator.save(path)
+    with span("facade.save"):
+        return emulator.save(path)
 
 
 def load(path: "str | os.PathLike") -> ClimateEmulator:
@@ -94,7 +103,8 @@ def load(path: "str | os.PathLike") -> ClimateEmulator:
     so repeated loads of artifacts sharing ``(sht_method, lmax, grid)``
     rebuild the transform tables only once per process.
     """
-    return EmulatorArtifact.load(path).to_emulator()
+    with span("facade.load"):
+        return EmulatorArtifact.load(path).to_emulator()
 
 
 def _resolve(source) -> ClimateEmulator:
@@ -136,14 +146,19 @@ def emulate(
         (the cap on realizations per inverse-SHT pass) never changes a
         bit — it only bounds the synthesis working set.
     """
-    return _resolve(source).emulate(
-        n_realizations=n_realizations,
-        n_times=n_times,
-        annual_forcing=annual_forcing,
-        rng=rng,
-        include_nugget=include_nugget,
-        batch_size=batch_size,
-    )
+    with span(
+        "facade.emulate", n_realizations=n_realizations, n_times=n_times
+    ) as sp:
+        result = _resolve(source).emulate(
+            n_realizations=n_realizations,
+            n_times=n_times,
+            annual_forcing=annual_forcing,
+            rng=rng,
+            include_nugget=include_nugget,
+            batch_size=batch_size,
+        )
+        sp.set(bytes=result.data.nbytes, shape=result.data.shape)
+    return result
 
 
 def emulate_stream(
@@ -172,7 +187,7 @@ def emulate_stream(
         with ``chunk_size >= n_times`` the single chunk is bit-exact with
         :func:`emulate`, and ``batch_size`` never changes any output bit.
     """
-    return _resolve(source).emulate_stream(
+    stream = _resolve(source).emulate_stream(
         n_realizations=n_realizations,
         n_times=n_times,
         annual_forcing=annual_forcing,
@@ -181,6 +196,25 @@ def emulate_stream(
         chunk_size=chunk_size,
         batch_size=batch_size,
     )
+
+    def _traced() -> Iterator[ClimateEnsemble]:
+        # Each next() is timed as its own span, so a trace shows where
+        # the stream's wall time went chunk by chunk; the generator
+        # stays lazy and yields outside the span.
+        iterator = iter(stream)
+        index = 0
+        while True:
+            with span("facade.emulate_stream.chunk", chunk=index) as sp:
+                try:
+                    chunk = next(iterator)
+                except StopIteration:
+                    sp.set(exhausted=True)
+                    return
+                sp.set(bytes=chunk.data.nbytes)
+            yield chunk
+            index += 1
+
+    return _traced()
 
 
 def serve(
@@ -228,10 +262,11 @@ def serve(
 
     if store is not None and not isinstance(store, ChunkStore):
         store = ChunkStore(store)
-    return EmulationService(
-        source,
-        seed=seed,
-        cache_bytes=cache_bytes,
-        store=store,
-        **kwargs,
-    )
+    with span("facade.serve", seed=seed):
+        return EmulationService(
+            source,
+            seed=seed,
+            cache_bytes=cache_bytes,
+            store=store,
+            **kwargs,
+        )

@@ -33,6 +33,7 @@ from repro.core.scale import ScaleField
 from repro.core.spectral_model import SpectralStochasticModel, validate_batch_size
 from repro.core.trend import MeanTrendModel, TrendFit
 from repro.data.ensemble import ClimateEnsemble
+from repro.obs import span
 from repro.sht.grid import Grid
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -184,13 +185,17 @@ class ClimateEmulator:
             rho_grid=cfg.rho_grid,
             use_distributed_lag=cfg.use_distributed_lag,
         )
-        self.trend_fit = self.trend_model.fit(ensemble.data, ensemble.forcing_annual)
-        residuals = self.trend_model.residuals(
-            ensemble.data, ensemble.forcing_annual, self.trend_fit
-        )
+        with span("fit.trend", bytes=ensemble.data.nbytes):
+            self.trend_fit = self.trend_model.fit(
+                ensemble.data, ensemble.forcing_annual
+            )
+            residuals = self.trend_model.residuals(
+                ensemble.data, ensemble.forcing_annual, self.trend_fit
+            )
 
-        self.scale = ScaleField.from_residuals(residuals)
-        standardized = self.scale.standardize(residuals)
+        with span("fit.scale"):
+            self.scale = ScaleField.from_residuals(residuals)
+            standardized = self.scale.standardize(residuals)
 
         self.spectral_model = SpectralStochasticModel(
             lmax=cfg.lmax,
@@ -201,7 +206,8 @@ class ClimateEmulator:
             covariance_jitter=cfg.covariance_jitter,
             sht_method=cfg.sht_method,
         )
-        self.spectral_model.fit(standardized, batch_size=batch_size)
+        with span("fit.spectral", lmax=cfg.lmax, var_order=cfg.var_order):
+            self.spectral_model.fit(standardized, batch_size=batch_size)
         return self
 
     @property

@@ -19,6 +19,8 @@ from typing import Iterator
 
 from repro.core.var import DiagonalVAR
 from repro.linalg.cholesky import CholeskyResult, MixedPrecisionCholesky
+from repro.linalg.flops import cholesky_flops
+from repro.obs import span
 from repro.sht.grid import Grid
 from repro.sht.plancache import get_plan
 from repro.sht.realform import complex_from_real, real_from_complex
@@ -175,7 +177,10 @@ class SpectralStochasticModel:
         if n_times <= self.var_order + 1:
             raise ValueError("record too short for the requested VAR order")
 
-        spectral = self.spectral_series(standardized, batch_size)  # (R, T, K)
+        with span(
+            "fit.analysis", lmax=self.lmax, n_ensemble=n_ens, n_times=n_times
+        ):
+            spectral = self.spectral_series(standardized, batch_size)  # (R, T, K)
         self.var.fit(spectral)
         innovations = self.var.innovations(spectral)           # (R, T-P, K)
 
@@ -195,7 +200,13 @@ class SpectralStochasticModel:
             variant=self.precision_variant,
             jitter=self.covariance_jitter,
         )
-        self.cholesky = solver.factorize(cov)
+        with span(
+            "fit.cholesky",
+            order=k,
+            variant=self.precision_variant,
+            flops=cholesky_flops(k),
+        ):
+            self.cholesky = solver.factorize(cov)
 
         truncation = self.truncation_residual(standardized, spectral, batch_size)
         self.nugget_std = truncation.std(axis=(0, 1), ddof=1)

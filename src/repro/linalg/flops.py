@@ -14,6 +14,8 @@ __all__ = [
     "trsm_flops",
     "syrk_flops",
     "gemm_flops",
+    "gemm_flops_mnk",
+    "sht_contraction_flops",
     "cholesky_flops",
     "cholesky_tile_counts",
 ]
@@ -41,6 +43,23 @@ def gemm_flops(nb: int) -> float:
     """Flops of an ``nb x nb x nb`` matrix multiply-accumulate (2 nb^3)."""
     n = float(nb)
     return 2.0 * n ** 3
+
+
+def gemm_flops_mnk(m: int, n: int, k: int) -> float:
+    """Flops of a rectangular ``(m x k) @ (k x n)`` multiply-accumulate."""
+    return 2.0 * float(m) * float(n) * float(k)
+
+
+def sht_contraction_flops(lmax: int, n_slices: int = 1) -> float:
+    """Flops of one Wigner/GEMM contraction stage at band-limit ``lmax``.
+
+    Summed over signed orders ``m``, each order multiplies ``n_slices``
+    rows against an ``ntheta x (lmax - |m|)`` operator for every of the
+    ``2 lmax - 1`` orders; with ``ntheta = 2 lmax - 1`` the closed form
+    is ``2 * n_slices * (2 lmax - 1) * lmax^2`` — the per-call attribute
+    the SHT spans report so a trace carries its own roofline numbers.
+    """
+    return 2.0 * float(n_slices) * float(2 * lmax - 1) * float(lmax) ** 2
 
 
 def cholesky_flops(n: int) -> float:

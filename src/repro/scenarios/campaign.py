@@ -43,6 +43,7 @@ from functools import partial
 import numpy as np
 
 from repro.api.facade import _resolve as _resolve_emulator
+from repro.obs import span
 from repro.scenarios.registry import resolve_scenario
 from repro.scenarios.spec import ScenarioSpec
 
@@ -106,6 +107,14 @@ class CampaignRunRecord:
     output_bytes: int
     output_files: list[str] = field(default_factory=list)
     collected: np.ndarray | None = None
+    #: Measured wall-clock seconds of the run's execution block.  Runs
+    #: batched through ``batch_size > 1`` share one synthesis pass, so
+    #: they report the block's wall time, not a per-run share.  Like
+    #: ``collected``, timing is measurement rather than content: it stays
+    #: off :meth:`to_dict`, which campaign tests pin bit-identical across
+    #: executors and batch sizes (the manifest-level ``timing`` block
+    #: carries it instead).
+    wall_seconds: float = 0.0
 
     def to_dict(self) -> dict:
         """JSON-able summary (the ``collected`` array stays on the object)."""
@@ -135,6 +144,13 @@ class CampaignManifest:
     artifact_bytes: int
     runs: list[CampaignRunRecord] = field(default_factory=list)
     batch_size: int = 1
+    #: Wall-clock seconds of the whole execution phase (planning through
+    #: the last worker), measured by the ``campaign.total`` span.
+    total_wall_seconds: float = 0.0
+    #: One ``{"scenario", "n_runs", "wall_seconds"}`` entry per executed
+    #: block, in campaign order (sourced from the ``campaign.batch`` /
+    #: ``campaign.run`` spans).
+    batch_timings: list[dict] = field(default_factory=list)
 
     @property
     def n_runs(self) -> int:
@@ -150,6 +166,20 @@ class CampaignManifest:
     def total_output_bytes(self) -> int:
         """Measured bytes of emulated output across every run."""
         return sum(run.output_bytes for run in self.runs)
+
+    @property
+    def runs_per_second(self) -> float:
+        """Executed runs per wall-clock second (0.0 when unmeasured)."""
+        if self.total_wall_seconds <= 0.0:
+            return 0.0
+        return self.n_runs / self.total_wall_seconds
+
+    @property
+    def output_bytes_per_second(self) -> float:
+        """Emulated output bytes per wall-clock second (0.0 when unmeasured)."""
+        if self.total_wall_seconds <= 0.0:
+            return 0.0
+        return self.total_output_bytes / self.total_wall_seconds
 
     def run(self, scenario: str, realization: int) -> CampaignRunRecord:
         """The record for one (scenario, realization) pair."""
@@ -183,6 +213,16 @@ class CampaignManifest:
             "total_output_bytes": int(self.total_output_bytes),
             "scenarios": self.scenario_names,
             "runs": [record.to_dict() for record in self.runs],
+            # Timing sits in the header, next to max_workers/executor:
+            # like those knobs it is provenance, not content — the
+            # ``runs`` entries stay bit-identical across executors.
+            "timing": {
+                "total_wall_seconds": float(self.total_wall_seconds),
+                "runs_per_second": float(self.runs_per_second),
+                "output_bytes_per_second": float(self.output_bytes_per_second),
+                "run_wall_seconds": [float(r.wall_seconds) for r in self.runs],
+                "batches": [dict(entry) for entry in self.batch_timings],
+            },
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -326,56 +366,87 @@ class _RunAccumulator:
         )
 
 
-def _execute_run(emulator, plan: CampaignRunPlan) -> CampaignRunRecord:
-    """Stream one run chunk by chunk and record its outcome."""
-    rng = np.random.default_rng(plan.seed)
-    acc = _RunAccumulator(plan)
-    stream = emulator.emulate_stream(
-        n_realizations=1,
-        n_times=plan.n_times,
-        annual_forcing=plan.forcing,
-        rng=rng,
-        include_nugget=plan.include_nugget,
-        chunk_size=plan.chunk_size,
+def _execute_run(
+    emulator, plan: CampaignRunPlan, parent=None
+) -> CampaignRunRecord:
+    """Stream one run chunk by chunk and record its outcome.
+
+    ``parent`` links this run's span to the campaign-level span even when
+    the run executes on a pool thread (whose span stack starts empty).
+    """
+    sp = span(
+        "campaign.run",
+        parent=parent,
+        index=plan.index,
+        scenario=plan.scenario,
+        realization=plan.realization,
     )
-    for j, chunk in enumerate(stream):
-        t_start = chunk.metadata.get("stream_offset", 0)
-        acc.add_chunk(j, t_start, chunk.data, chunk.global_mean_series()[0])
-    return acc.record()
+    with sp:
+        rng = np.random.default_rng(plan.seed)
+        acc = _RunAccumulator(plan)
+        stream = emulator.emulate_stream(
+            n_realizations=1,
+            n_times=plan.n_times,
+            annual_forcing=plan.forcing,
+            rng=rng,
+            include_nugget=plan.include_nugget,
+            chunk_size=plan.chunk_size,
+        )
+        for j, chunk in enumerate(stream):
+            t_start = chunk.metadata.get("stream_offset", 0)
+            acc.add_chunk(j, t_start, chunk.data, chunk.global_mean_series()[0])
+        record = acc.record()
+        sp.set(output_bytes=record.output_bytes, chunks=len(record.chunk_sizes))
+    record.wall_seconds = sp.seconds
+    return record
 
 
-def _execute_batch(emulator, plans: "list[CampaignRunPlan]") -> "list[CampaignRunRecord]":
+def _execute_batch(
+    emulator, plans: "list[CampaignRunPlan]", parent=None
+) -> "list[CampaignRunRecord]":
     """Execute a block of same-scenario runs in one vectorized stream.
 
     Every plan keeps its own ``SeedSequence``-derived generator and
     consumes it in exactly the serial order, so each returned record is
     bit-identical to ``_execute_run`` on the same plan; only the shared
     data-independent work (VAR recursion, inverse SHT, trend/scale
-    restore) is amortised across the block.
+    restore) is amortised across the block.  Each record's
+    ``wall_seconds`` is the block's wall time (the synthesis is shared,
+    so a per-run share would be fiction).
     """
     if len(plans) == 1:
-        return [_execute_run(emulator, plans[0])]
+        return [_execute_run(emulator, plans[0], parent=parent)]
     first = plans[0]
     assert all(p.scenario == first.scenario for p in plans), (
         "batched plans must share one scenario (one forcing / mean trend)"
     )
-    rngs = [np.random.default_rng(plan.seed) for plan in plans]
-    accs = [_RunAccumulator(plan) for plan in plans]
-    summary = emulator.training_summary
-    stream = emulator.generator().generate_stream_multi(
-        rngs,
-        n_times=first.n_times,
-        annual_forcing=first.forcing,
-        include_nugget=first.include_nugget,
-        start_year=summary.start_year,
-        chunk_size=first.chunk_size,
+    sp = span(
+        "campaign.batch",
+        parent=parent,
+        scenario=first.scenario,
+        n_runs=len(plans),
     )
-    for j, chunk in enumerate(stream):
-        t_start = chunk.metadata.get("stream_offset", 0)
-        means = chunk.global_mean_series()  # (B, nt)
-        for b, acc in enumerate(accs):
-            acc.add_chunk(j, t_start, chunk.data[b:b + 1], means[b])
-    return [acc.record() for acc in accs]
+    with sp:
+        rngs = [np.random.default_rng(plan.seed) for plan in plans]
+        accs = [_RunAccumulator(plan) for plan in plans]
+        summary = emulator.training_summary
+        stream = emulator.generator().generate_stream_multi(
+            rngs,
+            n_times=first.n_times,
+            annual_forcing=first.forcing,
+            include_nugget=first.include_nugget,
+            start_year=summary.start_year,
+            chunk_size=first.chunk_size,
+        )
+        for j, chunk in enumerate(stream):
+            t_start = chunk.metadata.get("stream_offset", 0)
+            means = chunk.global_mean_series()  # (B, nt)
+            for b, acc in enumerate(accs):
+                acc.add_chunk(j, t_start, chunk.data[b:b + 1], means[b])
+        records = [acc.record() for acc in accs]
+    for record in records:
+        record.wall_seconds = sp.seconds
+    return records
 
 
 def _batch_plans(
@@ -593,28 +664,61 @@ def run_campaign(
         artifact_bytes = emulator.measured_artifact_bytes()
 
     blocks = _batch_plans(plans, batch_size)
-    if workers == 1:
-        records = [rec for block in blocks for rec in _execute_batch(emulator, block)]
-    elif executor == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            batched = pool.map(partial(_execute_batch, emulator), blocks)
-            records = [rec for block_records in batched for rec in block_records]
-    else:
-        with contextlib.ExitStack() as stack:
-            worker_source = source
-            if not isinstance(source, (str, os.PathLike)):
-                # Worker processes need a picklable source; an in-memory
-                # emulator is spilled to a temporary artifact for the
-                # lifetime of the pool.
-                tmp_dir = stack.enter_context(
-                    tempfile.TemporaryDirectory(prefix="repro-campaign-")
+    total_span = span(
+        "campaign.total",
+        n_runs=len(plans),
+        n_blocks=len(blocks),
+        executor=executor,
+        max_workers=workers,
+    )
+    with total_span:
+        if workers == 1:
+            records = [
+                rec
+                for block in blocks
+                for rec in _execute_batch(emulator, block, parent=total_span)
+            ]
+        elif executor == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                batched = pool.map(
+                    partial(_execute_batch, emulator, parent=total_span), blocks
                 )
-                worker_source = emulator.save(os.path.join(tmp_dir, "emulator.npz"))
-            pool = stack.enter_context(ProcessPoolExecutor(max_workers=workers))
-            batched = pool.map(
-                partial(_execute_batch_in_process, source=worker_source), blocks
-            )
-            records = [rec for block_records in batched for rec in block_records]
+                records = [rec for block_records in batched for rec in block_records]
+        else:
+            with contextlib.ExitStack() as stack:
+                worker_source = source
+                if not isinstance(source, (str, os.PathLike)):
+                    # Worker processes need a picklable source; an in-memory
+                    # emulator is spilled to a temporary artifact for the
+                    # lifetime of the pool.
+                    tmp_dir = stack.enter_context(
+                        tempfile.TemporaryDirectory(prefix="repro-campaign-")
+                    )
+                    worker_source = emulator.save(
+                        os.path.join(tmp_dir, "emulator.npz")
+                    )
+                pool = stack.enter_context(ProcessPoolExecutor(max_workers=workers))
+                batched = pool.map(
+                    partial(_execute_batch_in_process, source=worker_source), blocks
+                )
+                records = [rec for block_records in batched for rec in block_records]
+
+    # Per-block timing, reassembled by slicing the (order-preserving)
+    # flattened records back into the planned blocks.  Records of one
+    # block share its wall time, so the block entry reads it from any
+    # member.
+    batch_timings: list[dict] = []
+    offset = 0
+    for block in blocks:
+        block_records = records[offset:offset + len(block)]
+        offset += len(block)
+        batch_timings.append({
+            "scenario": block[0].scenario,
+            "n_runs": len(block),
+            "wall_seconds": float(
+                max(rec.wall_seconds for rec in block_records)
+            ),
+        })
 
     return CampaignManifest(
         seed=int(seed),
@@ -627,4 +731,6 @@ def run_campaign(
         artifact_bytes=artifact_bytes,
         runs=records,
         batch_size=1 if batch_size is None else int(batch_size),
+        total_wall_seconds=total_span.seconds,
+        batch_timings=batch_timings,
     )

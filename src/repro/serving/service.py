@@ -52,13 +52,13 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.api.facade import _resolve as _resolve_emulator
 from repro.core.emulator import ClimateEmulator
+from repro.obs import MetricsRegistry, span
 from repro.serving.request import FieldRequest, chunk_address
 from repro.storage.chunkstore import ChunkStore
 
@@ -66,6 +66,16 @@ __all__ = ["EmulationService", "DEFAULT_CACHE_BYTES"]
 
 #: Default in-memory chunk-cache budget (bytes).
 DEFAULT_CACHE_BYTES = 256 * 2**20
+
+
+def _service_registry() -> MetricsRegistry:
+    """A fresh per-instance metrics registry.
+
+    :class:`~repro.obs.MetricsRegistry` carries its own internal lock,
+    so hot paths count events on it without holding the service lock —
+    it is a thread-safe handle, not service-lock-protected state.
+    """
+    return MetricsRegistry()
 
 
 class _ChunkCache:
@@ -77,23 +87,24 @@ class _ChunkCache:
     synthesis results reach waiters through the flight, not the cache.
     """
 
-    def __init__(self, max_bytes: "int | None"):
+    def __init__(self, max_bytes: "int | None", metrics: MetricsRegistry):
         if max_bytes is not None and int(max_bytes) < 0:
             raise ValueError("cache_bytes must be >= 0 (or None for unlimited)")
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self.bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Hit/miss/eviction counts live on the owning service's metrics
+        # registry; ``bytes``/``entries`` stay real state because the
+        # eviction loop reads them.
+        self._metrics = metrics
 
     def get(self, address: str) -> "np.ndarray | None":
         array = self._entries.get(address)
         if array is None:
-            self.misses += 1
+            self._metrics.add("serving.chunk_cache.misses")
             return None
         self._entries.move_to_end(address)
-        self.hits += 1
+        self._metrics.add("serving.chunk_cache.hits")
         return array
 
     def put(self, address: str, array: np.ndarray) -> None:
@@ -107,7 +118,7 @@ class _ChunkCache:
         while self.bytes > self.max_bytes and self._entries:
             _, evicted = self._entries.popitem(last=False)
             self.bytes -= evicted.nbytes
-            self.evictions += 1
+            self._metrics.add("serving.chunk_cache.evictions")
 
     def __contains__(self, address: str) -> bool:
         return address in self._entries
@@ -117,9 +128,9 @@ class _ChunkCache:
             "entries": len(self._entries),
             "bytes": self.bytes,
             "max_bytes": self.max_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
+            "hits": int(self._metrics.counter("serving.chunk_cache.hits")),
+            "misses": int(self._metrics.counter("serving.chunk_cache.misses")),
+            "evictions": int(self._metrics.counter("serving.chunk_cache.evictions")),
         }
 
 
@@ -228,22 +239,13 @@ class EmulationService:
             self._artifact_bytes = emulator.measured_artifact_bytes()
 
         self._lock = threading.Lock()
-        self._cache = _ChunkCache(cache_bytes)
+        # Every counter of this service lives on a per-instance metrics
+        # registry (two services never conflate counts); ``stats()`` is
+        # the back-compat view over it.
+        self._metrics = _service_registry()
+        self._cache = _ChunkCache(cache_bytes, self._metrics)
         self._flights: dict[str, _Flight] = {}
         self._streams: "OrderedDict[tuple[str, int], _LiveStream]" = OrderedDict()
-
-        self._requests = 0
-        self._request_hits = 0
-        self._request_misses = 0
-        self._store_chunk_hits = 0
-        self._served_bytes = 0
-        self._flights_run = 0
-        self._batched_flights = 0
-        self._coalesced_realizations = 0
-        self._coalesced_waits = 0
-        self._stream_resumes = 0
-        self._synth_chunks = 0
-        self._synth_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -268,6 +270,11 @@ class EmulationService:
         """Root entropy; realization ``r`` uses spawn key ``(r,)``."""
         return self._seed
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """This service's metrics registry (:meth:`stats` is a view over it)."""
+        return self._metrics
+
     def stats(self) -> dict:
         """Hit/miss/bytes/synthesis counters across every tier.
 
@@ -277,25 +284,32 @@ class EmulationService:
         it once (``batched_flights`` / ``coalesced_realizations`` break
         that down).
         """
+        metrics = self._metrics
+
+        def count(name: str) -> int:
+            return int(metrics.counter(name))
+
         with self._lock:
             summary = {
                 "seed": self._seed,
                 "steps_per_year": self.steps_per_year,
                 "artifact_bytes": self._artifact_bytes,
-                "requests": self._requests,
-                "request_hits": self._request_hits,
-                "request_misses": self._request_misses,
-                "served_bytes": self._served_bytes,
-                "store_chunk_hits": self._store_chunk_hits,
+                "requests": count("serving.requests"),
+                "request_hits": count("serving.request_hits"),
+                "request_misses": count("serving.request_misses"),
+                "served_bytes": count("serving.served_bytes"),
+                "store_chunk_hits": count("serving.store_chunk_hits"),
                 "chunk_cache": self._cache.stats(),
                 "synthesis": {
-                    "flights": self._flights_run,
-                    "batched_flights": self._batched_flights,
-                    "coalesced_realizations": self._coalesced_realizations,
-                    "coalesced_waits": self._coalesced_waits,
-                    "chunks": self._synth_chunks,
-                    "seconds": self._synth_seconds,
-                    "stream_resumes": self._stream_resumes,
+                    "flights": count("serving.synthesis.flights"),
+                    "batched_flights": count("serving.synthesis.batched_flights"),
+                    "coalesced_realizations": count(
+                        "serving.synthesis.coalesced_realizations"
+                    ),
+                    "coalesced_waits": count("serving.synthesis.coalesced_waits"),
+                    "chunks": count("serving.synthesis.chunks"),
+                    "seconds": metrics.counter("serving.synthesis.seconds"),
+                    "stream_resumes": count("serving.synthesis.stream_resumes"),
                     "live_streams": len(self._streams),
                 },
             }
@@ -331,44 +345,55 @@ class EmulationService:
             year: chunk_address(stream_addr, request.realization, year)
             for year in request.years
         }
-        with self._lock:
-            self._requests += 1
-        chunks: dict[int, np.ndarray] = {}
-        first_pass = True
-        while True:
-            missing = self._collect(addresses, chunks)
-            if first_pass:
-                first_pass = False
-                with self._lock:
-                    if missing:
-                        self._request_misses += 1
-                    else:
-                        self._request_hits += 1
-            if not missing:
-                return self._assemble(request, chunks)
-            role, flight, predecessor = self._join(
-                stream_addr, request.realization, max(missing) + 1
-            )
-            if role == "lead":
-                self._run_flight(flight, stream_addr, spec, request.include_nugget)
-            elif role == "lead_after":
-                predecessor.done.wait()
-                self._run_flight(flight, stream_addr, spec, request.include_nugget)
-            else:
-                with self._lock:
-                    self._coalesced_waits += 1
-                flight.done.wait()
-            if flight.error is not None:
-                raise RuntimeError(
-                    f"chunk synthesis failed for stream {stream_addr[:12]}..."
-                ) from flight.error
-            for year, address in addresses.items():
-                if year not in chunks and address in flight.results:
-                    chunks[year] = flight.results[address]
-            # Anything still missing (a need that arrived after the
-            # leader's snapshot, or an eviction race) is retried: the
-            # next loop iteration re-checks every tier and, if needed,
-            # joins or leads a fresh flight.
+        self._metrics.add("serving.requests")
+        with span(
+            "serve.get",
+            scenario=request.scenario,
+            realization=request.realization,
+            years=len(addresses),
+        ) as sp:
+            chunks: dict[int, np.ndarray] = {}
+            first_pass = True
+            while True:
+                missing = self._collect(addresses, chunks)
+                if first_pass:
+                    first_pass = False
+                    outcome = "miss" if missing else "hit"
+                    self._metrics.add(
+                        "serving.request_misses" if missing
+                        else "serving.request_hits"
+                    )
+                    sp.set(outcome=outcome)
+                if not missing:
+                    result = self._assemble(request, chunks)
+                    sp.set(bytes=result.nbytes)
+                    return result
+                role, flight, predecessor = self._join(
+                    stream_addr, request.realization, max(missing) + 1
+                )
+                if role == "lead":
+                    self._run_flight(
+                        flight, stream_addr, spec, request.include_nugget
+                    )
+                elif role == "lead_after":
+                    predecessor.done.wait()
+                    self._run_flight(
+                        flight, stream_addr, spec, request.include_nugget
+                    )
+                else:
+                    self._metrics.add("serving.synthesis.coalesced_waits")
+                    flight.done.wait()
+                if flight.error is not None:
+                    raise RuntimeError(
+                        f"chunk synthesis failed for stream {stream_addr[:12]}..."
+                    ) from flight.error
+                for year, address in addresses.items():
+                    if year not in chunks and address in flight.results:
+                        chunks[year] = flight.results[address]
+                # Anything still missing (a need that arrived after the
+                # leader's snapshot, or an eviction race) is retried: the
+                # next loop iteration re-checks every tier and, if
+                # needed, joins or leads a fresh flight.
 
     # ------------------------------------------------------------------ #
     # Tier lookups
@@ -398,8 +423,8 @@ class EmulationService:
                 continue
             array.setflags(write=False)
             chunks[year] = array
+            self._metrics.add("serving.store_chunk_hits")
             with self._lock:
-                self._store_chunk_hits += 1
                 self._cache.put(addresses[year], array)
         return missing
 
@@ -407,8 +432,7 @@ class EmulationService:
         fields = np.concatenate([chunks[year] for year in request.years], axis=0)
         if request.window is not None:
             fields = np.ascontiguousarray(request.window.extract(fields))
-        with self._lock:
-            self._served_bytes += fields.nbytes
+        self._metrics.add("serving.served_bytes", fields.nbytes)
         return fields
 
     # ------------------------------------------------------------------ #
@@ -456,25 +480,33 @@ class EmulationService:
         with self._lock:
             flight.running = True
             needs = dict(flight.needs)
-        started = time.perf_counter()
+        flight_span = span(
+            "serve.flight", stream=stream_addr[:12], realizations=len(needs)
+        )
         results: dict[str, np.ndarray] = {}
         try:
-            results = self._synthesize(stream_addr, spec, include_nugget, needs)
+            with flight_span:
+                results = self._synthesize(
+                    stream_addr, spec, include_nugget, needs
+                )
+                flight_span.set(chunks=len(results))
         except BaseException as error:
             flight.error = error
             raise
         finally:
-            elapsed = time.perf_counter() - started
+            metrics = self._metrics
+            metrics.add("serving.synthesis.flights")
+            metrics.add("serving.synthesis.chunks", len(results))
+            metrics.add("serving.synthesis.seconds", flight_span.elapsed())
+            if len(needs) > 1:
+                metrics.add("serving.synthesis.batched_flights")
+                metrics.add(
+                    "serving.synthesis.coalesced_realizations", len(needs) - 1
+                )
             with self._lock:
                 for address, array in results.items():
                     self._cache.put(address, array)
                 flight.results = results
-                self._flights_run += 1
-                self._synth_chunks += len(results)
-                self._synth_seconds += elapsed
-                if len(needs) > 1:
-                    self._batched_flights += 1
-                    self._coalesced_realizations += len(needs) - 1
                 if self._flights.get(stream_addr) is flight:
                     if flight.next is not None:
                         self._flights[stream_addr] = flight.next
@@ -567,8 +599,7 @@ class EmulationService:
             and live.next_year <= first_missing
             and live.horizon >= stop
         ):
-            with self._lock:
-                self._stream_resumes += 1
+            self._metrics.add("serving.synthesis.stream_resumes")
         else:
             horizon = max(stop, self._stream_horizon_years)
             live = self._open_stream(spec, include_nugget, realization, horizon)

@@ -46,6 +46,7 @@ import threading
 
 import numpy as np
 
+from repro.obs import get_registry, span
 from repro.sht.backends import SHT_BACKENDS
 from repro.sht.grid import Grid
 
@@ -59,10 +60,11 @@ __all__ = [
 
 _LOCK = threading.Lock()
 _CACHE: dict[tuple, object] = {}
-_HITS = 0
-_MISSES = 0
-_EVICTIONS = 0
 _LIMIT_BYTES: "int | None" = None
+
+#: Registry prefix for the cache's counters (hits/misses/evictions live
+#: on the process-wide metrics registry; ``plan_cache_stats`` is a view).
+_METRIC_PREFIX = "sht.plan_cache"
 
 
 def _plan_nbytes(plan) -> int:
@@ -98,7 +100,6 @@ def _evict_over_limit_locked(keep: "tuple | None") -> None:
     plan's size is measured once per eviction pass; cache contents can
     only grow through insertions, which all route through here.
     """
-    global _EVICTIONS
     if _LIMIT_BYTES is None:
         return
     sizes = {key: _plan_nbytes(plan) for key, plan in _CACHE.items()}
@@ -110,7 +111,7 @@ def _evict_over_limit_locked(keep: "tuple | None") -> None:
             continue
         del _CACHE[key]
         total -= sizes[key]
-        _EVICTIONS += 1
+        get_registry().add(f"{_METRIC_PREFIX}.evictions")
 
 
 def set_plan_cache_limit(max_bytes: "int | None") -> None:
@@ -172,12 +173,11 @@ def get_plan(sht_method: str, lmax: int, grid: Grid):
         A plan exposing ``forward`` / ``inverse`` at the requested
         band-limit and grid.  Treat it as read-only: it is shared.
     """
-    global _HITS, _MISSES
     key = plan_cache_key(sht_method, lmax, grid)
     with _LOCK:
         plan = _CACHE.get(key)
         if plan is not None:
-            _HITS += 1
+            get_registry().add(f"{_METRIC_PREFIX}.hits")
             # Dicts preserve insertion order; re-inserting keeps the
             # cache LRU-ordered for the bytes-limit eviction policy.
             # No budget re-check here: plans are immutable after
@@ -186,14 +186,15 @@ def get_plan(sht_method: str, lmax: int, grid: Grid):
             del _CACHE[key]
             _CACHE[key] = plan
             return plan
-    built = SHT_BACKENDS.resolve(sht_method).factory(lmax=lmax, grid=grid)
+    with span(f"{_METRIC_PREFIX}.build", backend=key[0], lmax=int(lmax)):
+        built = SHT_BACKENDS.resolve(sht_method).factory(lmax=lmax, grid=grid)
     with _LOCK:
         plan = _CACHE.setdefault(key, built)
         if plan is built:
-            _MISSES += 1
+            get_registry().add(f"{_METRIC_PREFIX}.misses")
             _evict_over_limit_locked(keep=key)
         else:
-            _HITS += 1
+            get_registry().add(f"{_METRIC_PREFIX}.hits")
     return plan
 
 
@@ -201,14 +202,13 @@ def clear_plan_cache() -> None:
     """Drop every cached plan and reset the hit/miss/eviction counters.
 
     The bytes limit installed by :func:`set_plan_cache_limit` is
-    configuration, not contents: it survives a clear.
+    configuration, not contents: it survives a clear.  The counters live
+    on the process-wide metrics registry under ``sht.plan_cache.``;
+    resetting that prefix leaves every other component's metrics alone.
     """
-    global _HITS, _MISSES, _EVICTIONS
     with _LOCK:
         _CACHE.clear()
-        _HITS = 0
-        _MISSES = 0
-        _EVICTIONS = 0
+        get_registry().reset(_METRIC_PREFIX)
 
 
 def plan_cache_stats() -> dict:
@@ -222,13 +222,14 @@ def plan_cache_stats() -> dict:
     (see :func:`set_plan_cache_limit`; ``limit_bytes`` is ``None`` when
     unlimited).
     """
+    registry = get_registry()
     with _LOCK:
         return {
             "size": len(_CACHE),
             "bytes": sum(_plan_nbytes(plan) for plan in _CACHE.values()),
-            "hits": _HITS,
-            "misses": _MISSES,
-            "evictions": _EVICTIONS,
+            "hits": int(registry.counter(f"{_METRIC_PREFIX}.hits")),
+            "misses": int(registry.counter(f"{_METRIC_PREFIX}.misses")),
+            "evictions": int(registry.counter(f"{_METRIC_PREFIX}.evictions")),
             "limit_bytes": _LIMIT_BYTES,
             "pid": os.getpid(),
             "keys": list(_CACHE),

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.linalg.flops import sht_contraction_flops
+from repro.obs import span
 from repro.sht.grid import Grid
 from repro.sht.quadrature import integral_matrix
 from repro.sht.wigner import wigner_d_pi2_all
@@ -364,9 +366,15 @@ class SHTPlan:
 
     def _analyze_block(self, data: np.ndarray) -> np.ndarray:
         """One unblocked analysis pass: FFT stages plus GEMM contraction."""
-        g = self.longitude_fourier(data)
-        k = self.colatitude_fourier(g)
-        return self.wigner_contraction_forward(k)
+        with span("sht.forward.fft"):
+            g = self.longitude_fourier(data)
+            k = self.colatitude_fourier(g)
+        n_slices = int(np.prod(k.shape[:-2])) if k.shape[:-2] else 1
+        with span(
+            "sht.forward.contraction",
+            flops=sht_contraction_flops(self.lmax, n_slices),
+        ):
+            return self.wigner_contraction_forward(k)
 
     def forward(self, data: np.ndarray) -> np.ndarray:
         """Full analysis: grid field(s) to spectral coefficients.
@@ -401,14 +409,15 @@ class SHTPlan:
             )
         lead = data.shape[:-2]
         n_flat = int(np.prod(lead)) if lead else 1
-        if n_flat <= _ANALYSIS_BLOCK:
-            return self._analyze_block(data)
-        flat = data.reshape((n_flat,) + self.grid.shape)
-        coeffs = np.empty((n_flat, self.n_coeffs), dtype=np.complex128)
-        for start in range(0, n_flat, _ANALYSIS_BLOCK):
-            block = flat[start:start + _ANALYSIS_BLOCK]
-            coeffs[start:start + _ANALYSIS_BLOCK] = self._analyze_block(block)
-        return coeffs.reshape(lead + (self.n_coeffs,))
+        with span("sht.forward", lmax=self.lmax, slices=n_flat, bytes=data.nbytes):
+            if n_flat <= _ANALYSIS_BLOCK:
+                return self._analyze_block(data)
+            flat = data.reshape((n_flat,) + self.grid.shape)
+            coeffs = np.empty((n_flat, self.n_coeffs), dtype=np.complex128)
+            for start in range(0, n_flat, _ANALYSIS_BLOCK):
+                block = flat[start:start + _ANALYSIS_BLOCK]
+                coeffs[start:start + _ANALYSIS_BLOCK] = self._analyze_block(block)
+            return coeffs.reshape(lead + (self.n_coeffs,))
 
     # ------------------------------------------------------------------ #
     # Inverse (synthesis)
@@ -589,22 +598,30 @@ class SHTPlan:
             raise ValueError(
                 f"expected {self.n_coeffs} coefficients, got {coeffs.shape[-1]}"
             )
-        c = self.wigner_contraction_inverse(coeffs)
-        lead = c.shape[:-2]
-        n_flat = int(np.prod(lead)) if lead else 1
-        if n_flat <= _SYNTHESIS_BLOCK:
-            return self.synthesis_from_fourier(c, real=real)
-        flat = c.reshape((n_flat,) + c.shape[-2:])
-        out = np.empty(
-            (n_flat,) + self.grid.shape,
-            dtype=np.float64 if real else np.complex128,
-        )
-        for start in range(0, n_flat, _SYNTHESIS_BLOCK):
-            block = flat[start:start + _SYNTHESIS_BLOCK]
-            out[start:start + _SYNTHESIS_BLOCK] = self.synthesis_from_fourier(
-                block, real=real
-            )
-        return out.reshape(lead + self.grid.shape)
+        lead_in = coeffs.shape[:-1]
+        n_slices = int(np.prod(lead_in)) if lead_in else 1
+        with span("sht.inverse", lmax=self.lmax, slices=n_slices, bytes=coeffs.nbytes):
+            with span(
+                "sht.inverse.contraction",
+                flops=sht_contraction_flops(self.lmax, n_slices),
+            ):
+                c = self.wigner_contraction_inverse(coeffs)
+            lead = c.shape[:-2]
+            n_flat = int(np.prod(lead)) if lead else 1
+            with span("sht.inverse.fft", slices=n_flat):
+                if n_flat <= _SYNTHESIS_BLOCK:
+                    return self.synthesis_from_fourier(c, real=real)
+                flat = c.reshape((n_flat,) + c.shape[-2:])
+                out = np.empty(
+                    (n_flat,) + self.grid.shape,
+                    dtype=np.float64 if real else np.complex128,
+                )
+                for start in range(0, n_flat, _SYNTHESIS_BLOCK):
+                    block = flat[start:start + _SYNTHESIS_BLOCK]
+                    out[start:start + _SYNTHESIS_BLOCK] = self.synthesis_from_fourier(
+                        block, real=real
+                    )
+                return out.reshape(lead + self.grid.shape)
 
     # ------------------------------------------------------------------ #
     # Utilities

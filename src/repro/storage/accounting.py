@@ -196,6 +196,9 @@ def campaign_storage_report(manifest) -> dict:
     artifact = int(manifest.get("artifact_bytes", 0))
     n_runs = int(manifest["n_runs"])
     scenarios = list(manifest.get("scenarios", []))
+    # Wall-clock throughput from the manifest's span-sourced timing
+    # block; manifests written before timing existed report 0.0.
+    wall = float(manifest.get("timing", {}).get("total_wall_seconds", 0.0))
     return {
         "n_runs": n_runs,
         "n_scenarios": len(scenarios),
@@ -203,6 +206,9 @@ def campaign_storage_report(manifest) -> dict:
         "artifact_bytes": artifact,
         "boost_factor": total / artifact if artifact else float("inf"),
         "output_bytes_per_run": total / n_runs if n_runs else 0.0,
+        "wall_seconds": wall,
+        "runs_per_second": n_runs / wall if wall > 0.0 else 0.0,
+        "output_bytes_per_second": total / wall if wall > 0.0 else 0.0,
     }
 
 

@@ -52,6 +52,8 @@ import threading
 
 import numpy as np
 
+from repro.obs import counter_add, span
+
 __all__ = ["ChunkStore", "CHUNK_ENCODINGS"]
 
 #: Supported chunk encodings, lossless first.
@@ -288,7 +290,10 @@ class ChunkStore:
             entry = self._chunks.get(address)
             if entry is not None:
                 return dict(entry)
-        entry = self._write_shard(address, array)
+        with span("chunkstore.put", bytes=array.nbytes, encoding=self.encoding):
+            entry = self._write_shard(address, array)
+        counter_add("chunkstore.writes")
+        counter_add("chunkstore.written_bytes", array.nbytes)
         with self._lock:
             # First writer wins; a concurrent identical put raced us to the
             # same content, so either entry is correct.
@@ -324,10 +329,19 @@ class ChunkStore:
         }
         for array in pending.values():
             _require_finite(array, self.encoding)
-        entries = {
-            address: self._write_shard(address, array, validated=True)
-            for address, array in pending.items()
-        }
+        batch_bytes = sum(array.nbytes for array in pending.values())
+        with span(
+            "chunkstore.put_many",
+            n_chunks=len(pending),
+            bytes=batch_bytes,
+            encoding=self.encoding,
+        ):
+            entries = {
+                address: self._write_shard(address, array, validated=True)
+                for address, array in pending.items()
+            }
+        counter_add("chunkstore.writes", len(pending))
+        counter_add("chunkstore.written_bytes", batch_bytes)
         with self._lock:
             written = 0
             for address, entry in entries.items():
@@ -344,12 +358,17 @@ class ChunkStore:
             if entry is None:
                 return None
             path = os.path.join(self.root, entry["file"])
-        with np.load(path) as payload:
-            return _decode(
-                payload["data"],
-                payload["scale"] if "scale" in payload else None,
-                payload["offset"] if "offset" in payload else None,
-            )
+        with span("chunkstore.get", encoding=self.encoding) as sp:
+            with np.load(path) as payload:
+                decoded = _decode(
+                    payload["data"],
+                    payload["scale"] if "scale" in payload else None,
+                    payload["offset"] if "offset" in payload else None,
+                )
+            sp.set(bytes=decoded.nbytes)
+        counter_add("chunkstore.reads")
+        counter_add("chunkstore.read_bytes", decoded.nbytes)
+        return decoded
 
     def entry(self, address: str) -> "dict | None":
         """The manifest entry of a chunk (shape, bytes, error), or ``None``."""

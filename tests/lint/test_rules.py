@@ -355,6 +355,32 @@ class TestApiHygiene:
         )
         assert self.lint(tmp_path) == []
 
+    def test_submodule_export_resolves_to_module_docstring(self, tmp_path):
+        package = tmp_path / "src" / "repro"
+        (package / "obs").mkdir(parents=True)
+        (package / "__init__.py").write_text(
+            'from repro import obs\n\n__all__ = ["obs"]\n'
+        )
+        (package / "obs" / "__init__.py").write_text('"""Telemetry layer."""\n')
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "api.md").write_text("`obs` is documented here.\n")
+        assert self.lint(tmp_path) == []
+
+    def test_submodule_export_without_module_docstring_fires(self, tmp_path):
+        package = tmp_path / "src" / "repro"
+        (package / "obs").mkdir(parents=True)
+        (package / "__init__.py").write_text(
+            'from repro import obs\n\n__all__ = ["obs"]\n'
+        )
+        (package / "obs" / "__init__.py").write_text("x = 1\n")
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "api.md").write_text("`obs`\n")
+        findings = self.lint(tmp_path)
+        assert rule_ids(findings) == ["api-hygiene"]
+        assert "no docstring" in findings[0].message
+
     def test_unresolvable_export_fires(self, tmp_path):
         self.write_tree(
             tmp_path,
@@ -482,3 +508,110 @@ class TestBareExcept:
                     pass
         """
         assert run(source, rules=["bare-except"]) == []
+
+
+# --------------------------------------------------------------------- #
+# telemetry-hygiene
+# --------------------------------------------------------------------- #
+class TestTelemetryHygiene:
+    def test_raw_perf_counter_delta_fires(self):
+        source = """
+            import time
+
+            def synthesize(work):
+                t0 = time.perf_counter()
+                work()
+                return time.perf_counter() - t0
+        """
+        findings = run(source, rules=["telemetry-hygiene"])
+        assert rule_ids(findings) == ["telemetry-hygiene"] * 2
+        assert all("outside the telemetry layer" in f.message for f in findings)
+
+    def test_obs_package_and_non_src_trees_are_exempt(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert lint_source(source, "src/repro/obs/tracing.py",
+                           rules=["telemetry-hygiene"]) == []
+        assert lint_source(source, "benchmarks/bench_example.py",
+                           rules=["telemetry-hygiene"]) == []
+
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            'counter_add("hits")',
+            'gauge_set("Serving.Queue.depth", 2)',
+            'metrics.observe("CamelName", 1.0)',
+            'with span("Serve.Get"):\n    pass',
+        ],
+    )
+    def test_malformed_instrument_name_fires(self, stmt):
+        source = (
+            "from repro.obs import counter_add, gauge_set, span\n"
+            f"def f(metrics):\n{textwrap.indent(textwrap.dedent(stmt), '    ')}\n"
+        )
+        findings = lint_source(source, "src/repro/core/example.py",
+                               rules=["telemetry-hygiene"])
+        assert rule_ids(findings) == ["telemetry-hygiene"]
+        assert "not dotted lowercase" in findings[0].message
+
+    def test_module_prefix_fstrings_resolve(self):
+        source = """
+            from repro.obs import counter_add
+
+            _PREFIX = "sht.plan_cache"
+
+            def f():
+                counter_add(f"{_PREFIX}.hits")
+        """
+        assert run(source, rules=["telemetry-hygiene"]) == []
+
+    def test_cross_kind_collision_fires(self):
+        source = """
+            from repro.obs import span
+
+            def f(metrics):
+                with span("serve.get"):
+                    pass
+                metrics.add("serve.get.seconds")
+        """
+        findings = run(source, rules=["telemetry-hygiene"])
+        assert rule_ids(findings) == ["telemetry-hygiene"]
+        assert "cross-kind" in findings[0].message
+
+    def test_cross_file_collision_fires(self, tmp_path):
+        from tools.reprolint import lint_paths
+
+        package = tmp_path / "src" / "repro"
+        package.mkdir(parents=True)
+        (package / "__init__.py").write_text("")
+        (package / "a.py").write_text(
+            "def f(metrics):\n    metrics.add('serving.queue.depth')\n"
+        )
+        (package / "b.py").write_text(
+            "def g(metrics):\n    metrics.set_gauge('serving.queue.depth', 2)\n"
+        )
+        report = lint_paths(tmp_path, ["src"], rules=["telemetry-hygiene"])
+        assert rule_ids(report.findings) == ["telemetry-hygiene"]
+
+    def test_well_named_instruments_are_clean(self):
+        source = """
+            from repro.obs import counter_add, gauge_set, observe, span
+
+            def f(metrics, name):
+                with span("sht.inverse", lmax=48):
+                    pass
+                counter_add("chunkstore.reads")
+                gauge_set("serving.queue.depth", 3)
+                observe("fit.analysis.seconds", 0.5)
+                metrics.add("serving.requests")
+                metrics.add(name)  # dynamic names are the runtime's job
+        """
+        assert run(source, rules=["telemetry-hygiene"]) == []
+
+    def test_pragma_with_reason_suppresses(self):
+        source = (
+            "import time\n"
+            "t = time.perf_counter()  # reprolint: allow[telemetry-hygiene] "
+            "coarse once-per-run stamp, not a hot-path measurement\n"
+        )
+        assert lint_source(source, "src/repro/core/example.py",
+                           rules=["telemetry-hygiene"]) == []

@@ -1,0 +1,122 @@
+"""Metrics registry: instruments, naming, snapshots, thread atomicity."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, counter_add, get_registry, reset_metrics
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counters_accumulate(self, registry):
+        registry.add("test.counter")
+        registry.add("test.counter", 2.5)
+        assert registry.counter("test.counter") == 3.5
+        assert registry.counter("test.absent", default=-1.0) == -1.0
+
+    def test_gauges_last_write_wins(self, registry):
+        registry.set_gauge("test.gauge", 4)
+        registry.set_gauge("test.gauge", 7.5)
+        assert registry.gauge("test.gauge") == 7.5
+
+    def test_histogram_summary_statistics(self, registry):
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            registry.observe("test.hist", value)
+        summary = registry.snapshot()["histograms"]["test.hist"]
+        assert summary["count"] == 4
+        assert summary["sum"] == 10.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == 2.5
+        assert summary["p50"] == 3.0  # nearest-rank over the window
+
+    def test_malformed_names_are_rejected(self, registry):
+        for bad in ("hits", "Serving.hits", "serving..hits", "serving.Hits", ""):
+            with pytest.raises(ValueError, match="dotted lowercase"):
+                registry.add(bad)
+
+    def test_cross_kind_reuse_is_rejected(self, registry):
+        registry.add("test.name")
+        with pytest.raises(ValueError, match="different instrument kind"):
+            registry.observe("test.name", 1.0)
+        with pytest.raises(ValueError, match="different instrument kind"):
+            registry.set_gauge("test.name", 1.0)
+
+    def test_snapshot_is_sorted_and_detached(self, registry):
+        registry.add("b.two")
+        registry.add("a.one")
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.one", "b.two"]
+        snap["counters"]["a.one"] = 99.0
+        assert registry.counter("a.one") == 1.0
+
+    def test_reset_by_prefix_spares_other_components(self, registry):
+        registry.add("sht.plan_cache.hits")
+        registry.add("sht.plan_cache.misses")
+        registry.observe("sht.forward.seconds", 0.1)
+        registry.reset("sht.plan_cache")
+        assert registry.counter("sht.plan_cache.hits") == 0.0
+        assert registry.snapshot()["histograms"]["sht.forward.seconds"]["count"] == 1
+
+    def test_full_reset_clears_every_kind(self, registry):
+        registry.add("a.counter")
+        registry.set_gauge("a.gauge", 1.0)
+        registry.observe("a.hist", 1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestConcurrency:
+    def test_counter_adds_are_atomic_across_8_threads(self, registry):
+        n_threads, n_each = 8, 10_000
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(n_each):
+                registry.add("test.atomic")
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("test.atomic") == n_threads * n_each
+
+    def test_concurrent_mixed_instruments_survive(self, registry):
+        barrier = threading.Barrier(4)
+
+        def writer(index):
+            barrier.wait()
+            for step in range(2_000):
+                registry.add(f"test.worker_{index}.events")
+                registry.observe(f"test.worker_{index}.seconds", step * 1e-6)
+                registry.set_gauge(f"test.worker_{index}.depth", step)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        for index in range(4):
+            assert snap["counters"][f"test.worker_{index}.events"] == 2_000
+            assert snap["histograms"][f"test.worker_{index}.seconds"]["count"] == 2_000
+            assert snap["gauges"][f"test.worker_{index}.depth"] == 1_999
+
+
+class TestGlobalRegistry:
+    def test_module_helpers_hit_the_process_registry(self):
+        reset_metrics("test.global")
+        counter_add("test.global.events", 2.0)
+        assert get_registry().counter("test.global.events") == 2.0
+        reset_metrics("test.global")
+        assert get_registry().counter("test.global.events") == 0.0

@@ -1,0 +1,159 @@
+"""Tracing spans: nesting, cross-thread linking, sinks, toggle safety."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    clear_trace,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    span,
+    trace_records,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing():
+    """Every test starts and ends with tracing off and an empty buffer."""
+    disable()
+    clear_trace()
+    yield
+    disable()
+    clear_trace()
+
+
+class TestNesting:
+    def test_spans_nest_within_a_thread(self):
+        enable()
+        with span("test_trace.outer") as outer:
+            with span("test_trace.inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+        records = {rec["name"]: rec for rec in trace_records()}
+        assert records["test_trace.inner"]["parent_id"] == outer.span_id
+        assert records["test_trace.outer"]["parent_id"] is None
+
+    def test_explicit_parent_links_across_threads(self):
+        enable()
+        with span("test_trace.batch") as batch:
+            def work():
+                with span("test_trace.run", parent=batch):
+                    pass
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        child = next(r for r in trace_records() if r["name"] == "test_trace.run")
+        assert child["parent_id"] == batch.span_id
+
+    def test_8_thread_nesting_keeps_parent_chains_thread_local(self):
+        n_threads = 8
+        enable()
+        barrier = threading.Barrier(n_threads)
+
+        def work(index):
+            barrier.wait()
+            with span(f"test_trace.root_{index}"):
+                for depth in range(3):
+                    with span(f"test_trace.child_{index}_{depth}"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        records = {rec["name"]: rec for rec in trace_records()}
+        assert len(records) == n_threads * 4
+        for index in range(n_threads):
+            root = records[f"test_trace.root_{index}"]
+            assert root["parent_id"] is None
+            for depth in range(3):
+                child = records[f"test_trace.child_{index}_{depth}"]
+                # Each child nests under its own thread's root, never
+                # under another thread's concurrently-open spans.
+                assert child["parent_id"] == root["span_id"]
+                assert child["thread"] == root["thread"]
+
+
+class TestAlwaysMeasuring:
+    def test_seconds_and_histograms_work_while_disabled(self):
+        assert not enabled()
+        with span("test_trace.measured") as sp:
+            pass
+        assert sp.seconds > 0.0
+        summary = get_registry().snapshot()["histograms"]
+        assert summary["test_trace.measured.seconds"]["count"] >= 1
+        assert trace_records() == []
+
+    def test_set_and_elapsed(self):
+        with span("test_trace.attrs", fixed=1) as sp:
+            assert sp.elapsed() >= 0.0
+            sp.set(bytes=512, outcome="hit")
+        assert sp.attrs == {"fixed": 1, "bytes": 512, "outcome": "hit"}
+
+
+class TestSinks:
+    def test_jsonl_file_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with tracing(path) as active:
+            assert active == str(path)
+            with span("test_trace.io", shape=(3, 4), n=np.int64(7)):
+                pass
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [rec["name"] for rec in lines] == ["test_trace.io"]
+        record = lines[0]
+        assert set(record) == {
+            "name", "span_id", "parent_id", "thread", "pid", "start",
+            "seconds", "attrs",
+        }
+        # Attributes arrive JSON-native: numpy scalars unwrap, tuples
+        # become lists.
+        assert record["attrs"] == {"shape": [3, 4], "n": 7}
+
+    def test_tracing_contextmanager_disables_on_exit(self):
+        with tracing():
+            assert enabled()
+        assert not enabled()
+
+    def test_memory_buffer_and_clear(self):
+        enable()
+        with span("test_trace.buffered"):
+            pass
+        assert len(trace_records()) == 1
+        clear_trace()
+        assert trace_records() == []
+
+    def test_disable_mid_span_drops_the_record_quietly(self):
+        enable()
+        sp = span("test_trace.inflight")
+        sp.__enter__()
+        disable()
+        sp.__exit__(None, None, None)  # must not raise
+        assert trace_records() == []
+
+    def test_reenable_replaces_the_sink(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        enable(first)
+        with span("test_trace.first"):
+            pass
+        enable(second)
+        with span("test_trace.second"):
+            pass
+        disable()
+        assert "test_trace.first" in first.read_text()
+        assert "test_trace.second" in second.read_text()
+        assert "test_trace.second" not in first.read_text()

@@ -201,6 +201,25 @@ def generate() -> str:
     parts.append(_entry("repro.list_scenarios", list_scenarios))
     parts.append(_entry("repro.register_scenario", register_scenario))
 
+    parts.append("## Telemetry\n")
+    parts.append(
+        "The unified observability layer (`repro.obs`): a process-wide\n"
+        "metrics registry plus hierarchical tracing spans over every hot\n"
+        "path.  Telemetry is bit-inert — emitted arrays are bit-identical\n"
+        "with tracing on, off, or toggled mid-run.  See\n"
+        "[`observability.md`](observability.md) for the tour and\n"
+        "`tools/tracereport.py` for trace aggregation.\n"
+    )
+    parts.append(_entry("repro.obs", repro.obs))
+    parts.append(_entry("repro.obs.MetricsRegistry", repro.obs.MetricsRegistry,
+                        methods=("add", "set_gauge", "observe", "counter",
+                                 "gauge", "snapshot", "reset")))
+    for name in ("span", "tracing", "enable", "disable", "enabled",
+                 "current_span", "trace_records", "clear_trace",
+                 "metrics_snapshot", "counter_add", "gauge_set", "observe",
+                 "reset_metrics", "get_registry"):
+        parts.append(_entry(f"repro.obs.{name}", getattr(repro.obs, name)))
+
     parts.append("## Cholesky precision variants\n")
     parts.append(
         "Precision policies for the tile Cholesky of the innovation\n"

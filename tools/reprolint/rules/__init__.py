@@ -15,6 +15,7 @@ from tools.reprolint.rules import (  # noqa: F401  (imported for registration)
     protocol,
     storagewrite,
     style,
+    telemetry,
 )
 from tools.reprolint.rules.api_hygiene import ApiHygieneRule
 from tools.reprolint.rules.determinism import DeterminismRule
@@ -23,6 +24,7 @@ from tools.reprolint.rules.locking import LockDisciplineRule
 from tools.reprolint.rules.protocol import StateProtocolRule
 from tools.reprolint.rules.storagewrite import NonFiniteWriteRule
 from tools.reprolint.rules.style import BareExceptRule, MutableDefaultRule
+from tools.reprolint.rules.telemetry import TelemetryHygieneRule
 
 __all__ = [
     "ApiHygieneRule",
@@ -33,4 +35,5 @@ __all__ = [
     "MutableDefaultRule",
     "NonFiniteWriteRule",
     "StateProtocolRule",
+    "TelemetryHygieneRule",
 ]

@@ -5,7 +5,9 @@ this rule checks — statically, by following ``from repro.x import name``
 re-export chains through the source tree — that:
 
 * the name resolves to a real definition (function, class or module
-  constant) somewhere inside ``repro``;
+  constant) somewhere inside ``repro``, or to a ``repro`` submodule
+  (``from repro import obs``) whose module docstring then stands in for
+  the definition docstring;
 * a function/class definition carries a non-empty docstring (the API
   reference is generated from docstrings, so an empty one is an empty
   reference entry);
@@ -94,10 +96,26 @@ def _resolve(ctx: ProjectContext, relpath: str, name: str, depth: int = 0) -> _R
     if base is None:
         # Re-exported from outside repro (stdlib/numpy): resolvable, opaque.
         return _Resolution(None, relpath=relpath)
+    resolution = _Resolution(None, failed=f"module {module} has no source file")
     for candidate in (f"{base}.py", f"{base}/__init__.py"):
         if ctx.read_text(candidate) is not None:
-            return _resolve(ctx, candidate, original, depth + 1)
-    return _Resolution(None, failed=f"module {module} has no source file")
+            if candidate == relpath and original == name:
+                # ``from repro import obs`` inside repro/__init__.py binds
+                # the submodule, never an attribute of the file itself.
+                resolution = _Resolution(None, failed="self-import")
+            else:
+                resolution = _resolve(ctx, candidate, original, depth + 1)
+            break
+    if resolution.failed:
+        # ``from repro[.pkg] import sub`` with no attribute of that name
+        # binds the submodule; resolve it to its own source file.
+        sub_base = _module_relpath(f"{module}.{original}")
+        if sub_base is not None:
+            for candidate in (f"{sub_base}.py", f"{sub_base}/__init__.py"):
+                subtree = ctx.parse(candidate)
+                if subtree is not None:
+                    return _Resolution(subtree, candidate)
+    return resolution
 
 
 @LINT_RULES.register(
@@ -166,7 +184,8 @@ class ApiHygieneRule(Rule):
                 continue
             definition = resolution.node
             if isinstance(
-                definition, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                definition,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Module),
             ):
                 if not (ast.get_docstring(definition) or "").strip():
                     findings.append(
