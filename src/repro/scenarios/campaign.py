@@ -26,7 +26,15 @@ emulator (or a saved artifact path) plus ``scenarios x realizations``, and
 * emits a :class:`CampaignManifest` recording, per run, the scenario, the
   seed spawn key, the chunk layout and the measured output bytes — the
   numbers :func:`repro.storage.accounting.campaign_storage_report` turns
-  into the artifact-to-output "boost factor".
+  into the artifact-to-output "boost factor";
+* optionally lands every chunk in the serving tier's persistent
+  :class:`~repro.storage.chunkstore.ChunkStore` (``store=``): chunks are
+  keyed by the same ``(stream, realization, year)`` content-addresses
+  :class:`~repro.serving.service.EmulationService` uses, and store-backed
+  runs draw realization ``r`` from ``SeedSequence(seed, spawn_key=(r,))``
+  — the service's own stream — so a campaign *pre-warms* serving: every
+  campaign chunk is later served from the store with zero cold synthesis,
+  bit-identical for a lossless (float64) store.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ import json
 import os
 import re
 import tempfile
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
@@ -43,9 +52,11 @@ from functools import partial
 import numpy as np
 
 from repro.api.facade import _resolve as _resolve_emulator
-from repro.obs import span
+from repro.obs import counter_add, span
 from repro.scenarios.registry import resolve_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.serving.request import FieldRequest, chunk_address
+from repro.storage.chunkstore import ChunkStore
 
 __all__ = [
     "CampaignManifest",
@@ -73,6 +84,13 @@ class CampaignRunPlan:
     campaign's actual run and chunk counts (never below the historical
     3/4 digits) so lexicographic filename order equals execution order
     even for campaigns beyond 1000 runs or 10000 chunks.
+
+    ``store_root``/``store_encoding``/``stream_address`` are set when the
+    campaign writes into a :class:`~repro.storage.chunkstore.ChunkStore`:
+    plain strings rather than a store handle, so plans stay picklable for
+    process pools (each worker opens its own handle, cached per process).
+    ``stream_address`` is the run's scenario-stream content-address from
+    :meth:`repro.serving.request.FieldRequest.stream_address`.
     """
 
     index: int
@@ -87,6 +105,9 @@ class CampaignRunPlan:
     output_dir: str | None
     index_width: int = 3
     chunk_width: int = 4
+    store_root: str | None = None
+    store_encoding: str = "float64"
+    stream_address: str | None = None
 
     @property
     def spawn_key(self) -> tuple[int, ...]:
@@ -106,6 +127,12 @@ class CampaignRunRecord:
     chunk_sizes: list[int]
     output_bytes: int
     output_files: list[str] = field(default_factory=list)
+    #: Content-addresses of this run's chunks in the campaign's
+    #: ``ChunkStore`` (chunk order), empty for store-less campaigns.
+    #: These are the exact addresses ``FieldRequest`` serving resolves,
+    #: so the serving tier and :func:`iter_chunk_arrays` address the
+    #: same bytes.
+    chunk_addresses: list[str] = field(default_factory=list)
     collected: np.ndarray | None = None
     #: Measured wall-clock seconds of the run's execution block.  Runs
     #: batched through ``batch_size > 1`` share one synthesis pass, so
@@ -127,6 +154,7 @@ class CampaignRunRecord:
             "chunk_sizes": [int(c) for c in self.chunk_sizes],
             "output_bytes": int(self.output_bytes),
             "output_files": [str(f) for f in self.output_files],
+            "chunk_addresses": [str(a) for a in self.chunk_addresses],
         }
 
 
@@ -151,6 +179,11 @@ class CampaignManifest:
     #: block, in campaign order (sourced from the ``campaign.batch`` /
     #: ``campaign.run`` spans).
     batch_timings: list[dict] = field(default_factory=list)
+    #: Persistent-store header when the campaign wrote into a
+    #: :class:`~repro.storage.chunkstore.ChunkStore`:
+    #: ``{"root", "encoding", "stream_addresses": {scenario: address}}``.
+    #: ``None`` for NPZ-only campaigns.
+    store: "dict | None" = None
 
     @property
     def n_runs(self) -> int:
@@ -212,6 +245,7 @@ class CampaignManifest:
             "n_runs": self.n_runs,
             "total_output_bytes": int(self.total_output_bytes),
             "scenarios": self.scenario_names,
+            "store": None if self.store is None else dict(self.store),
             "runs": [record.to_dict() for record in self.runs],
             # Timing sits in the header, next to max_workers/executor:
             # like those knobs it is provenance, not content — the
@@ -249,12 +283,23 @@ def plan_campaign(
     collect: str = "global-mean",
     output_dir: "str | os.PathLike | None" = None,
     start_level: float = 2.5,
+    store_root: "str | None" = None,
+    store_encoding: str = "float64",
 ) -> list[CampaignRunPlan]:
     """Expand ``scenarios x realizations`` into per-run execution plans.
 
     Runs are ordered scenario-major, and run ``i`` is pinned to the
     ``SeedSequence`` child with ``spawn_key == (i,)`` — the property that
     makes sharded execution bit-identical to serial execution.
+
+    When ``store_root`` is set (the campaign writes into a
+    :class:`~repro.storage.chunkstore.ChunkStore`), seeding switches to
+    the serving contract instead: realization ``r`` of *every* scenario
+    draws from the child with ``spawn_key == (r,)`` — exactly the stream
+    :class:`~repro.serving.service.EmulationService` synthesizes from —
+    so the chunks a campaign lands under their serving content-addresses
+    are the chunks serving would have produced.  Sharded execution stays
+    bit-identical to serial either way (each run still owns one child).
     """
     specs = [resolve_scenario(s, start_level=start_level) for s in scenarios]
     if not specs:
@@ -279,18 +324,31 @@ def plan_campaign(
     # stable): a 12000-run or 20000-chunk campaign still sorts correctly.
     index_width = max(3, len(str(n_runs - 1)))
     chunk_width = max(4, len(str(n_chunks - 1)))
-    children = np.random.SeedSequence(seed).spawn(n_runs)
+    if store_root is None:
+        # Legacy run-indexed seeding: run i draws from spawn_key (i,).
+        children = np.random.SeedSequence(seed).spawn(n_runs)
+    else:
+        # Serving-contract seeding: realization r draws from spawn_key
+        # (r,) whatever its scenario, matching EmulationService.
+        children = np.random.SeedSequence(seed).spawn(n_realizations)
     out_dir = None if output_dir is None else os.fspath(output_dir)
     plans: list[CampaignRunPlan] = []
     for spec in specs:
         forcing = spec.annual_forcing(n_years)
+        stream_address = None
+        if store_root is not None:
+            # The serving layer's own canonicalization, so campaign and
+            # FieldRequest addresses can never drift apart.
+            stream_address = FieldRequest(
+                spec, include_nugget=include_nugget, start_level=start_level
+            ).stream_address()
         for realization in range(n_realizations):
             index = len(plans)
             plans.append(CampaignRunPlan(
                 index=index,
                 scenario=spec.name,
                 realization=realization,
-                seed=children[index],
+                seed=children[index if store_root is None else realization],
                 forcing=forcing,
                 n_times=int(n_times),
                 chunk_size=int(chunk_size),
@@ -299,6 +357,9 @@ def plan_campaign(
                 output_dir=out_dir,
                 index_width=index_width,
                 chunk_width=chunk_width,
+                store_root=store_root,
+                store_encoding=str(store_encoding),
+                stream_address=stream_address,
             ))
     return plans
 
@@ -311,6 +372,11 @@ class _RunAccumulator:
     chunk_sizes: list[int] = field(default_factory=list)
     output_files: list[str] = field(default_factory=list)
     collected_parts: "list[np.ndarray]" = field(default_factory=list)
+    #: ``address -> float64 chunk`` staged for the campaign's store,
+    #: flushed once per execution block through ``put_many`` (one
+    #: manifest transaction per block, not per chunk).
+    store_chunks: "dict[str, np.ndarray]" = field(default_factory=dict)
+    chunk_addresses: list[str] = field(default_factory=list)
     output_bytes: int = 0
 
     def add_chunk(
@@ -325,6 +391,20 @@ class _RunAccumulator:
         nt = member.shape[1]
         self.chunk_sizes.append(nt)
         self.output_bytes += member.size * np.dtype(np.float32).itemsize
+        if plan.store_root is not None:
+            # One chunk == one model year (run_campaign pins chunk_size
+            # to steps_per_year for store campaigns), so the chunk's
+            # serving address is (stream, realization, t_start // spy).
+            # The full-precision float64 data is staged — the store's
+            # lossless tier preserves the service's bit-exactness
+            # contract, unlike the float32 NPZ shards.
+            address = chunk_address(
+                plan.stream_address, plan.realization, t_start // plan.chunk_size
+            )
+            self.chunk_addresses.append(address)
+            self.store_chunks[address] = np.ascontiguousarray(
+                np.asarray(member[0], dtype=np.float64)
+            )
         if plan.collect == "global-mean":
             self.collected_parts.append(global_means)
         elif plan.collect == "fields":
@@ -362,12 +442,38 @@ class _RunAccumulator:
             chunk_sizes=self.chunk_sizes,
             output_bytes=self.output_bytes,
             output_files=self.output_files,
+            chunk_addresses=self.chunk_addresses,
             collected=collected,
         )
 
 
+def _flush_store(
+    store: "ChunkStore | None", accs: "list[_RunAccumulator]"
+) -> None:
+    """Land an execution block's staged chunks in the store, one batch.
+
+    ``put_many`` is one manifest transaction however many runs the block
+    held, and it is idempotent under the store's first-writer-wins
+    commit protocol — a re-run campaign (or two campaigns sharing
+    scenarios and realizations) re-derives the same content-addresses
+    and skips the chunks it finds already stored.
+    """
+    if store is None:
+        return
+    chunks: dict[str, np.ndarray] = {}
+    for acc in accs:
+        chunks.update(acc.store_chunks)
+    if not chunks:
+        return
+    nbytes = sum(array.nbytes for array in chunks.values())
+    with span("campaign.store_flush", n_chunks=len(chunks), bytes=nbytes):
+        store.put_many(chunks)
+    counter_add("campaign.store.chunks", len(chunks))
+    counter_add("campaign.store.bytes", nbytes)
+
+
 def _execute_run(
-    emulator, plan: CampaignRunPlan, parent=None
+    emulator, plan: CampaignRunPlan, parent=None, store: "ChunkStore | None" = None
 ) -> CampaignRunRecord:
     """Stream one run chunk by chunk and record its outcome.
 
@@ -395,6 +501,7 @@ def _execute_run(
         for j, chunk in enumerate(stream):
             t_start = chunk.metadata.get("stream_offset", 0)
             acc.add_chunk(j, t_start, chunk.data, chunk.global_mean_series()[0])
+        _flush_store(store, [acc])
         record = acc.record()
         sp.set(output_bytes=record.output_bytes, chunks=len(record.chunk_sizes))
     record.wall_seconds = sp.seconds
@@ -402,7 +509,8 @@ def _execute_run(
 
 
 def _execute_batch(
-    emulator, plans: "list[CampaignRunPlan]", parent=None
+    emulator, plans: "list[CampaignRunPlan]", parent=None,
+    store: "ChunkStore | None" = None,
 ) -> "list[CampaignRunRecord]":
     """Execute a block of same-scenario runs in one vectorized stream.
 
@@ -415,7 +523,7 @@ def _execute_batch(
     so a per-run share would be fiction).
     """
     if len(plans) == 1:
-        return [_execute_run(emulator, plans[0], parent=parent)]
+        return [_execute_run(emulator, plans[0], parent=parent, store=store)]
     first = plans[0]
     assert all(p.scenario == first.scenario for p in plans), (
         "batched plans must share one scenario (one forcing / mean trend)"
@@ -443,6 +551,7 @@ def _execute_batch(
             means = chunk.global_mean_series()  # (B, nt)
             for b, acc in enumerate(accs):
                 acc.add_chunk(j, t_start, chunk.data[b:b + 1], means[b])
+        _flush_store(store, accs)
         records = [acc.record() for acc in accs]
     for record in records:
         record.wall_seconds = sp.seconds
@@ -474,10 +583,25 @@ def _batch_plans(
     return blocks
 
 
-# Per-worker-process cache: each ProcessPoolExecutor worker loads the
-# artifact once and replays every run assigned to it from the same
-# emulator.  Workers die with the pool, so entries never go stale.
+# Per-worker caches, shared by the thread path (the lock makes them
+# thread-safe) and re-populated per process by pool workers: each
+# ProcessPoolExecutor worker loads the artifact / opens the store once
+# and replays every block assigned to it from the same handles.
+# Workers die with the pool, so entries never go stale; store handles
+# pick up foreign commits through the store's own refresh protocol.
+_WORKER_LOCK = threading.Lock()
 _WORKER_EMULATORS: dict[str, object] = {}
+_WORKER_STORES: dict[tuple[str, str], ChunkStore] = {}
+
+
+def _store_handle(root: str, encoding: str) -> ChunkStore:
+    """This process's store handle for ``root`` (opened once, cached)."""
+    key = (os.fspath(root), str(encoding))
+    with _WORKER_LOCK:
+        store = _WORKER_STORES.get(key)
+        if store is None:
+            store = _WORKER_STORES[key] = ChunkStore(key[0], key[1])
+        return store
 
 
 def _execute_batch_in_process(
@@ -490,61 +614,184 @@ def _execute_batch_in_process(
     precomputed transform tables.
     """
     key = os.fspath(source)
-    emulator = _WORKER_EMULATORS.get(key)
+    with _WORKER_LOCK:
+        emulator = _WORKER_EMULATORS.get(key)
     if emulator is None:
-        emulator = _WORKER_EMULATORS[key] = _resolve_emulator(source)
-    return _execute_batch(emulator, plans)
+        emulator = _resolve_emulator(source)
+        with _WORKER_LOCK:
+            emulator = _WORKER_EMULATORS.setdefault(key, emulator)
+    first = plans[0]
+    store = (
+        _store_handle(first.store_root, first.store_encoding)
+        if first.store_root is not None else None
+    )
+    return _execute_batch(emulator, plans, store=store)
 
 
-def iter_chunk_arrays(manifest):
-    """Load the NPZ chunk shards of a campaign back, manifest-driven.
+def _resolve_reader_store(manifest, store) -> "ChunkStore | None":
+    """The :class:`ChunkStore` to read a campaign back from, if any.
 
-    Yields ``(run, member)`` for every run that wrote output files:
+    ``store=True`` opens the store the manifest records; a path opens
+    that root with the manifest's recorded encoding (falling back to
+    lossless); a :class:`ChunkStore` instance is used as-is.
+    """
+    if store is None or isinstance(store, ChunkStore):
+        return store
+    header = manifest.get("store") if isinstance(manifest, dict) else manifest.store
+    if store is True:
+        if not header:
+            raise ValueError(
+                "iter_chunk_arrays(store=True) needs a manifest from a "
+                "store-backed campaign (run_campaign(store=...)), but this "
+                "manifest records no store"
+            )
+        return _store_handle(str(header["root"]), str(header["encoding"]))
+    encoding = str(header["encoding"]) if header else "float64"
+    return _store_handle(os.fspath(store), encoding)
+
+
+def iter_chunk_arrays(manifest, *, store=None):
+    """Load the chunk shards of a campaign back, manifest-driven.
+
+    Yields ``(run, member)`` for every run that wrote output:
     ``run`` is the manifest's run entry (a :class:`CampaignRunRecord`,
     or a plain dict when iterating a JSON-loaded manifest) and
     ``member`` is the run's reassembled ``float32`` field array of shape
-    ``(n_times, ntheta, nphi)``.  Chunks are ordered by their recorded
-    ``t_start`` (not by filename parsing) and validated to tile the run
-    contiguously, so a missing or truncated shard raises instead of
-    silently yielding a gapped record.
+    ``(n_times, ntheta, nphi)``.
+
+    With ``store=None`` (default) the run's NPZ ``output_files`` are
+    read; with ``store=True`` (the store the manifest records), a store
+    root path, or a :class:`~repro.storage.chunkstore.ChunkStore`, the
+    run's ``chunk_addresses`` are fetched from the persistent store —
+    the same bytes ``FieldRequest`` serving resolves, cast to float32
+    so both paths yield identical arrays for a lossless store.
+
+    Every chunk is validated against the manifest's recorded layout
+    before anything is yielded: chunk count and per-chunk length must
+    match ``chunk_sizes``, ``t_start`` markers must tile the run
+    contiguously, spatial shapes must agree across chunks, and NPZ
+    shards must carry the run's own scenario/realization stamp — a
+    missing, truncated, reordered or foreign shard raises a ``ValueError``
+    naming the run and shard instead of silently yielding a corrupt
+    record.
 
     Parameters
     ----------
     manifest:
         A :class:`CampaignManifest`, its :meth:`CampaignManifest.to_dict`
         form, or a JSON-loaded manifest document.
+    store:
+        ``None`` (read NPZ files), ``True`` (read the manifest's
+        recorded store), a store root path, or an open
+        :class:`~repro.storage.chunkstore.ChunkStore`.
     """
+    reader_store = _resolve_reader_store(manifest, store)
     runs = manifest["runs"] if isinstance(manifest, dict) else manifest.runs
     for run in runs:
         if isinstance(run, dict):
             files = [str(f) for f in run.get("output_files", [])]
+            addresses = [str(a) for a in run.get("chunk_addresses", [])]
+            chunk_sizes = [int(c) for c in run["chunk_sizes"]]
             n_times = int(run["n_times"])
-            label = f"run {run['index']} ({run['scenario']!r}, r{run['realization']})"
+            scenario = str(run["scenario"])
+            realization = int(run["realization"])
+            label = f"run {run['index']} ({scenario!r}, r{realization})"
         else:
             files = list(run.output_files)
+            addresses = list(run.chunk_addresses)
+            chunk_sizes = [int(c) for c in run.chunk_sizes]
             n_times = int(run.n_times)
-            label = f"run {run.index} ({run.scenario!r}, r{run.realization})"
-        if not files:
-            continue
-        parts: list[tuple[int, np.ndarray]] = []
-        for path in files:
-            with np.load(path) as payload:
-                parts.append((int(payload["t_start"]), np.asarray(payload["data"][0])))
-        parts.sort(key=lambda item: item[0])
+            scenario = str(run.scenario)
+            realization = int(run.realization)
+            label = f"run {run.index} ({scenario!r}, r{realization})"
+        if reader_store is not None:
+            if not addresses:
+                raise ValueError(
+                    f"{label}: the manifest records no chunk_addresses — "
+                    f"the campaign did not write into a store "
+                    f"(run_campaign(store=...)); read its NPZ files instead"
+                )
+            if len(addresses) != len(chunk_sizes):
+                raise ValueError(
+                    f"{label}: the manifest records {len(addresses)} "
+                    f"chunk_addresses but {len(chunk_sizes)} chunk_sizes; "
+                    f"the manifest is corrupt"
+                )
+            arrays = []
+            for j, address in enumerate(addresses):
+                array = reader_store.get(address)
+                if array is None:
+                    raise ValueError(
+                        f"{label}: chunk {j} (address {address[:12]}...) is "
+                        f"not in the store at {reader_store.root}; it was "
+                        f"pruned or never committed"
+                    )
+                arrays.append(array)
+            # Addresses are recorded in chunk order; their t_starts are
+            # the manifest layout's running offsets by construction.
+            parts = [
+                (sum(chunk_sizes[:j]), array) for j, array in enumerate(arrays)
+            ]
+            source = f"store {reader_store.root}"
+        else:
+            if not files:
+                continue
+            parts = []
+            for path in files:
+                with np.load(path) as payload:
+                    if "scenario" in payload and str(payload["scenario"]) != scenario:
+                        raise ValueError(
+                            f"{label}: shard {path} belongs to scenario "
+                            f"{str(payload['scenario'])!r}; the manifest and "
+                            f"the files on disk disagree"
+                        )
+                    if (
+                        "realization" in payload
+                        and int(payload["realization"]) != realization
+                    ):
+                        raise ValueError(
+                            f"{label}: shard {path} belongs to realization "
+                            f"r{int(payload['realization'])}; the manifest "
+                            f"and the files on disk disagree"
+                        )
+                    parts.append(
+                        (int(payload["t_start"]), np.asarray(payload["data"][0]))
+                    )
+            parts.sort(key=lambda item: item[0])
+            source = "files"
         expected = 0
-        for t_start, data in parts:
+        for j, (t_start, data) in enumerate(parts):
             if t_start != expected:
                 raise ValueError(
                     f"{label}: chunk at t_start={t_start} does not continue "
                     f"the record (expected t_start={expected}); a shard is "
                     f"missing or duplicated"
                 )
+            if j < len(chunk_sizes) and data.shape[0] != chunk_sizes[j]:
+                raise ValueError(
+                    f"{label}: chunk {j} holds {data.shape[0]} time steps "
+                    f"but the manifest records {chunk_sizes[j]}; the shard "
+                    f"was truncated or rewritten since the campaign ran"
+                )
+            if data.shape[1:] != parts[0][1].shape[1:]:
+                raise ValueError(
+                    f"{label}: chunk {j} has spatial shape "
+                    f"{tuple(data.shape[1:])} but chunk 0 has "
+                    f"{tuple(parts[0][1].shape[1:])}; shards of one run "
+                    f"must share one grid"
+                )
             expected += data.shape[0]
         if expected != n_times:
             raise ValueError(
                 f"{label}: chunks cover {expected} of {n_times} time steps"
             )
-        yield run, np.concatenate([data for _, data in parts], axis=0)
+        if len(parts) != len(chunk_sizes):
+            raise ValueError(
+                f"{label}: {source} hold {len(parts)} chunks but the "
+                f"manifest records {len(chunk_sizes)}"
+            )
+        member = np.concatenate([data for _, data in parts], axis=0)
+        yield run, np.asarray(member, dtype=np.float32)
 
 
 def run_campaign(
@@ -562,19 +809,22 @@ def run_campaign(
     collect: str = "global-mean",
     output_dir: "str | os.PathLike | None" = None,
     start_level: float = 2.5,
+    store: "ChunkStore | str | os.PathLike | None" = None,
 ) -> CampaignManifest:
     """Replay a fitted emulator across ``scenarios x realizations`` runs.
 
     Determinism guarantee: every per-run output (the run records, the
-    collected reductions, the NPZ chunks) is a pure function of
-    ``(source, scenarios, n_realizations, n_times, chunk_size, seed,
-    include_nugget, collect, start_level)``.  Run ``i`` always draws
-    from the ``SeedSequence`` child with ``spawn_key == (i,)``, so
-    ``max_workers``, ``executor`` and ``batch_size`` are throughput
-    knobs only — any combination produces bit-identical runs.  (The
-    manifest *header* records those execution knobs for provenance, so
-    whole-manifest JSON differs across them even though ``runs`` never
-    does.)
+    collected reductions, the NPZ chunks, the stored chunks) is a pure
+    function of ``(source, scenarios, n_realizations, n_times,
+    chunk_size, seed, include_nugget, collect, start_level, store
+    encoding)``.  Run ``i`` always draws from the ``SeedSequence`` child
+    with ``spawn_key == (i,)`` — or, for store-backed campaigns,
+    realization ``r`` draws from the child with ``spawn_key == (r,)``
+    (see below) — so ``max_workers``, ``executor`` and ``batch_size``
+    are throughput knobs only: any combination produces bit-identical
+    runs.  (The manifest *header* records those execution knobs for
+    provenance, so whole-manifest JSON differs across them even though
+    ``runs`` never does.)
 
     Parameters
     ----------
@@ -619,12 +869,36 @@ def run_campaign(
         generated (bounded-memory streaming to disk).
     start_level:
         Baseline forcing handed to the scenario factories.
+    store:
+        A :class:`~repro.storage.chunkstore.ChunkStore` (or a store root
+        path, opened lossless) the campaign lands every chunk in, keyed
+        by the serving tier's ``(stream, realization, year)``
+        content-addresses — so an
+        :class:`~repro.serving.service.EmulationService` over the same
+        root (same seed) serves every campaign chunk with **zero** cold
+        synthesis, bit-identical for a float64 store.  Two contracts
+        change under ``store=``:
+
+        * **seeding** follows the service: realization ``r`` of every
+          scenario draws from ``SeedSequence(seed, spawn_key=(r,))``
+          instead of the run-indexed ``(i,)`` key, so one store root is
+          coherent for one ``(artifact, seed)`` pair across scenarios;
+        * **chunking** is pinned to the canonical year stream:
+          ``chunk_size`` must equal ``steps_per_year`` (the default) and
+          ``n_times`` must be a whole number of years, because serving
+          addresses chunks by model year.
+
+        Chunks are staged per execution block and committed with one
+        ``put_many`` transaction per block (multi-process safe; a
+        re-run campaign finds its addresses already stored and skips
+        them).  The full float64 data is stored; ``output_dir`` NPZ
+        shards (float32) can be written alongside.
 
     Returns
     -------
     CampaignManifest
-        Per-run scenario, seed spawn key, chunk layout, measured output
-        bytes and the collected reduction.
+        Per-run scenario, seed spawn key, chunk layout, chunk store
+        addresses, measured output bytes and the collected reduction.
     """
     if executor not in ("thread", "process"):
         raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
@@ -648,11 +922,35 @@ def run_campaign(
     if output_dir is not None:
         os.makedirs(os.fspath(output_dir), exist_ok=True)
 
+    store_obj: "ChunkStore | None" = None
+    if store is not None:
+        store_obj = (
+            store if isinstance(store, ChunkStore)
+            else ChunkStore(os.fspath(store))
+        )
+        # Serving addresses chunks by model year of the canonical
+        # year-chunked stream; any other layout would land chunks the
+        # service can never resolve.
+        if chunk_size != summary.steps_per_year:
+            raise ValueError(
+                f"store-backed campaigns must use the canonical year "
+                f"chunking: chunk_size={chunk_size} != steps_per_year="
+                f"{summary.steps_per_year} (leave chunk_size unset)"
+            )
+        if n_times % summary.steps_per_year != 0:
+            raise ValueError(
+                f"store-backed campaigns must cover whole model years: "
+                f"n_times={n_times} is not a multiple of steps_per_year="
+                f"{summary.steps_per_year}"
+            )
+
     plans = plan_campaign(
         scenarios, n_realizations,
         n_times=n_times, steps_per_year=summary.steps_per_year,
         chunk_size=chunk_size, seed=seed, include_nugget=include_nugget,
         collect=collect, output_dir=output_dir, start_level=start_level,
+        store_root=None if store_obj is None else store_obj.root,
+        store_encoding="float64" if store_obj is None else store_obj.encoding,
     )
 
     # The measured artifact size: for a path source the on-disk file is the
@@ -676,12 +974,18 @@ def run_campaign(
             records = [
                 rec
                 for block in blocks
-                for rec in _execute_batch(emulator, block, parent=total_span)
+                for rec in _execute_batch(
+                    emulator, block, parent=total_span, store=store_obj
+                )
             ]
         elif executor == "thread":
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 batched = pool.map(
-                    partial(_execute_batch, emulator, parent=total_span), blocks
+                    partial(
+                        _execute_batch, emulator,
+                        parent=total_span, store=store_obj,
+                    ),
+                    blocks,
                 )
                 records = [rec for block_records in batched for rec in block_records]
         else:
@@ -702,6 +1006,10 @@ def run_campaign(
                     partial(_execute_batch_in_process, source=worker_source), blocks
                 )
                 records = [rec for block_records in batched for rec in block_records]
+        if store_obj is not None:
+            # Process workers commit through their own handles; one
+            # refresh makes their entries visible on the caller's.
+            store_obj.refresh()
 
     # Per-block timing, reassembled by slicing the (order-preserving)
     # flattened records back into the planned blocks.  Records of one
@@ -720,6 +1028,18 @@ def run_campaign(
             ),
         })
 
+    store_header = None
+    if store_obj is not None:
+        store_header = {
+            "root": store_obj.root,
+            "encoding": store_obj.encoding,
+            "stream_addresses": {
+                plan.scenario: plan.stream_address
+                for plan in plans
+                if plan.realization == 0
+            },
+        }
+
     return CampaignManifest(
         seed=int(seed),
         n_times=n_times,
@@ -733,4 +1053,5 @@ def run_campaign(
         batch_size=1 if batch_size is None else int(batch_size),
         total_wall_seconds=total_span.seconds,
         batch_timings=batch_timings,
+        store=store_header,
     )

@@ -15,19 +15,26 @@ from repro.storage.accounting import (
     StorageScenario,
     archive_bytes,
     campaign_storage_report,
+    cross_tier_storage_report,
     emulator_parameter_bytes,
     format_bytes,
     measured_artifact_report,
     savings_report,
+    serving_storage_report,
 )
+from repro.storage.chunkstore import CHUNK_ENCODINGS, ChunkStore
 
 __all__ = [
+    "CHUNK_ENCODINGS",
     "CMIP6_ARCHIVE",
+    "ChunkStore",
     "StorageScenario",
     "archive_bytes",
     "campaign_storage_report",
+    "cross_tier_storage_report",
     "emulator_parameter_bytes",
     "format_bytes",
     "measured_artifact_report",
     "savings_report",
+    "serving_storage_report",
 ]

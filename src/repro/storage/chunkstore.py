@@ -1,11 +1,10 @@
 """Persistent, manifest-indexed store of content-addressed field chunks.
 
-The serving layer's third tier (after the in-process LRU and synthesis):
-a directory of NPZ shards keyed by chunk content-address, indexed by a
-single ``manifest.json``.  A chunk written once is served forever without
-re-synthesis — across processes and restarts — which is what turns the
-emulator artifact into a *persistent* output cache rather than a purely
-in-memory one.
+The system's single persistence layer: a directory of NPZ shards keyed
+by chunk content-address, indexed by one ``manifest.json``.  The serving
+tier reads and write-throughs it, and campaigns (``run_campaign(store=...)``)
+write straight into it, so a chunk written once is served forever without
+re-synthesis — across processes and restarts.
 
 Three encodings trade bytes for fidelity:
 
@@ -27,28 +26,57 @@ all-zero payload with ``offset = nan``), while the bit-lossless
 ``"float64"`` tier accepts any bit pattern.
 
 A store has one encoding for its whole lifetime (recorded in the
-manifest; reopening with a different one raises), decodes every ``get``
-back to ``float64``, and is safe for concurrent use within a process
-(one lock around manifest and file mutation).  Shard writes go through a
-temporary file + ``os.replace`` so a crash never leaves a truncated
-shard behind a manifest entry.
+manifest; reopening with a different one raises) and decodes every
+``get`` back to ``float64``.
 
-Across processes the store is *merge-on-write*: every manifest write
-re-reads the on-disk manifest and unions its entries first, so two
-services writing into one directory converge on the superset of their
-chunks (entries are content-addressed and immutable, making the union
-safe).  There is no cross-process file lock, so a reader only observes
-entries present at its last manifest (re)load — reopen the store to see
-chunks another process added since.
+Concurrency — the commit protocol
+---------------------------------
+Within a process one ``threading.Lock`` guards the in-memory manifest
+view.  Across processes, every manifest mutation is a *transaction*
+guarded by a ``manifest.lock`` file acquired with
+``O_CREAT | O_EXCL`` (atomic on every platform the repo targets):
+
+1. acquire ``manifest.lock`` (bounded wait, stale-lock breaking);
+2. re-read ``manifest.json`` — the on-disk copy is authoritative while
+   the lock is held, so entries committed by other processes are never
+   lost and entries pruned by other processes are never resurrected;
+3. apply the mutation (entries are content-addressed and immutable, so
+   first-writer-wins ``setdefault`` is always safe);
+4. atomically replace ``manifest.json`` (temp file + ``os.replace``,
+   so lock-free readers always observe a complete manifest);
+5. release the lock.
+
+Shard files are written *before* the transaction (content-addressed
+writes are idempotent and need no lock) and each writer re-checks its
+shard file still exists inside the transaction, which closes the race
+against a concurrent ``prune``.  A crash between shard write and
+manifest commit therefore leaves only an unreferenced shard — never a
+manifest entry pointing at a missing shard — and
+:meth:`ChunkStore.sweep_orphans` reclaims such shards after a grace
+window.  A lock left behind by a killed process is broken after
+``stale_lock_seconds``.
+
+:meth:`ChunkStore.refresh` picks up foreign commits without reopening
+(cheap: one ``stat`` compares the manifest's ``(mtime_ns, size)``
+token), and ``get``/``in`` auto-refresh on a miss, so N campaign
+workers and an ``EmulationService`` can share one store root live.
+GC is explicit: :meth:`ChunkStore.prune` drops entries by age and/or a
+byte budget (manifest entries are removed durably *before* their shard
+files are unlinked, so a crash mid-prune strands shards, never
+entries), and :meth:`ChunkStore.sweep_orphans` removes unreferenced
+shards and stale temp files.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
 import os
 import tempfile
 import threading
+import time
+import zipfile
 
 import numpy as np
 
@@ -60,6 +88,32 @@ __all__ = ["ChunkStore", "CHUNK_ENCODINGS"]
 CHUNK_ENCODINGS = ("float64", "float32", "int16")
 
 _MANIFEST_SCHEMA = 1
+
+#: Seconds between lock-acquisition attempts while another process
+#: holds ``manifest.lock``.
+_LOCK_POLL_SECONDS = 0.002
+
+
+def _now() -> float:
+    """Wall-clock seconds for storage bookkeeping only.
+
+    Feeds entry ``stored_at`` timestamps (GC age), stale-lock detection
+    and orphan-sweep grace windows — never any emulated output, which
+    stays a pure function of ``(artifact, seed, request)``.
+    """
+    # reprolint: allow[determinism] GC timestamps and lock staleness only; emulated outputs never read this
+    return time.time()
+
+
+def _deadline_clock() -> float:
+    """Monotonic seconds for the lock-acquisition deadline.
+
+    Not a hot-path measurement (those go through ``repro.obs`` spans):
+    a wall-clock deadline would jump under clock adjustment and either
+    spin forever or give up instantly.
+    """
+    # reprolint: allow[telemetry-hygiene] lock-wait deadline arithmetic, not a timing measurement
+    return time.monotonic()
 
 
 def _require_finite(array: np.ndarray, encoding: str) -> None:
@@ -80,6 +134,16 @@ def _require_finite(array: np.ndarray, encoding: str) -> None:
             f"{encoding!r} encoding cannot represent faithfully; store "
             f"non-finite chunks with the lossless 'float64' encoding"
         )
+    if encoding == "float32" and array.size:
+        peak = float(np.max(np.abs(array)))
+        if peak > float(np.finfo(np.float32).max):
+            # The cast would overflow finite values to inf — a
+            # non-finite stored payload dressed as a lossy round-trip.
+            raise ValueError(
+                f"chunk magnitude {peak:.6g} overflows the 'float32' "
+                f"encoding (max ~3.4e38); store it with 'float64' or the "
+                f"range-scaled 'int16' encoding"
+            )
 
 
 def _encode(array: np.ndarray, encoding: str, *, validated: bool = False):
@@ -108,7 +172,15 @@ def _encode(array: np.ndarray, encoding: str, *, validated: bool = False):
         offset = 0.5 * (hi + lo)
         half = 0.5 * (hi - lo)
         scale = half / 32767.0 if half > 0.0 else 1.0
-        encoded = np.round((array - offset) / scale).astype(np.int16)
+        if scale == 0.0:
+            # half is subnormal and the quotient underflowed; any normal
+            # scale quantizes the whole (tiny) range to level 0 exactly.
+            scale = float(np.finfo(np.float64).tiny)
+        # Clip before the int16 cast: rounding of (array - offset)/scale
+        # can land a hair above 32767 at the range endpoints, and the
+        # cast would wrap that to -32768 (a full-range error).
+        levels = np.clip(np.round((array - offset) / scale), -32767.0, 32767.0)
+        encoded = levels.astype(np.int16)
         decoded = encoded.astype(np.float64) * scale + offset
         err = float(np.max(np.abs(decoded - array))) if array.size else 0.0
         return encoded, scale, offset, err
@@ -137,6 +209,16 @@ class ChunkStore:
         ``"int16"`` is the opt-in quantized tier (4x smaller, measured
         ``max_abs_error`` recorded per chunk).  Reopening an existing
         store with a different encoding raises ``ValueError``.
+    lock_timeout:
+        Seconds a manifest transaction waits for ``manifest.lock``
+        before raising ``TimeoutError``.  Transactions are one JSON
+        round-trip, so contention is short; the default outlasts any
+        realistic writer burst.
+    stale_lock_seconds:
+        Age after which a ``manifest.lock`` left behind by a killed
+        process is broken.  Must exceed the longest plausible
+        transaction (a manifest read + write); breaking is a
+        crash-recovery path, not a scheduling mechanism.
 
     Examples
     --------
@@ -147,34 +229,36 @@ class ChunkStore:
     True
     """
 
-    def __init__(self, root: "str | os.PathLike", encoding: str = "float64"):
+    def __init__(
+        self,
+        root: "str | os.PathLike",
+        encoding: str = "float64",
+        *,
+        lock_timeout: float = 10.0,
+        stale_lock_seconds: float = 30.0,
+    ):
         if encoding not in CHUNK_ENCODINGS:
             raise ValueError(
                 f"unknown chunk encoding {encoding!r}; expected one of {CHUNK_ENCODINGS}"
             )
         self.root = os.fspath(root)
         self.encoding = str(encoding)
+        self.lock_timeout = float(lock_timeout)
+        self.stale_lock_seconds = float(stale_lock_seconds)
         self._lock = threading.Lock()
         self._manifest_path = os.path.join(self.root, "manifest.json")
+        self._lock_path = os.path.join(self.root, "manifest.lock")
         os.makedirs(os.path.join(self.root, "chunks"), exist_ok=True)
         self._chunks: dict[str, dict] = {}
-        if os.path.exists(self._manifest_path):
-            with open(self._manifest_path, "r", encoding="utf-8") as handle:
-                manifest = json.load(handle)
-            if manifest.get("schema") != _MANIFEST_SCHEMA:
-                raise ValueError(
-                    f"unsupported chunk-store manifest schema "
-                    f"{manifest.get('schema')!r} at {self._manifest_path}"
-                )
-            if manifest.get("encoding") != self.encoding:
-                raise ValueError(
-                    f"store at {self.root} was created with encoding "
-                    f"{manifest.get('encoding')!r}; reopen with that encoding "
-                    f"instead of {self.encoding!r}"
-                )
-            self._chunks = dict(manifest.get("chunks", {}))
-        else:
-            self._write_manifest_locked()
+        self._manifest_token: "tuple | None" = None
+        with self._lock:
+            if os.path.exists(self._manifest_path):
+                self._refresh_locked(count=False)
+            else:
+                # Create the empty manifest through the same transaction
+                # path as every other mutation, so two processes racing
+                # to initialise one root serialise cleanly.
+                self._commit_locked(lambda chunks: None)
 
     # ------------------------------------------------------------------ #
     # Properties
@@ -189,8 +273,14 @@ class ChunkStore:
             return len(self._chunks)
 
     def __contains__(self, address: str) -> bool:
+        address = str(address)
         with self._lock:
-            return str(address) in self._chunks
+            if address in self._chunks:
+                return True
+            # A miss may just mean another process committed since our
+            # last load; one cheap stat settles it.
+            self._refresh_locked()
+            return address in self._chunks
 
     def addresses(self) -> list[str]:
         """Every stored chunk address, sorted."""
@@ -198,33 +288,110 @@ class ChunkStore:
             return sorted(self._chunks)
 
     # ------------------------------------------------------------------ #
-    # Read / write
+    # The cross-process commit protocol
     # ------------------------------------------------------------------ #
     def _shard_path(self, address: str) -> str:
         return os.path.join(self.root, "chunks", address[:2], f"{address}.npz")
 
-    def _write_manifest_locked(self) -> None:
-        # Merge-on-write: union entries another process may have added
-        # since our last load.  Entries are content-addressed and
-        # immutable, so the union is always safe; our own entries win a
-        # (byte-identical) collision.
-        if os.path.exists(self._manifest_path):
+    @contextlib.contextmanager
+    def _flock_locked(self):
+        """Hold ``manifest.lock`` (O_CREAT|O_EXCL) for one transaction.
+
+        Bounded wait: raises ``TimeoutError`` after ``lock_timeout``
+        seconds.  A lock older than ``stale_lock_seconds`` is treated as
+        abandoned by a killed process and broken (counted on the
+        ``chunkstore.lock_breaks`` counter).  Caller holds the thread
+        lock, so one process never contends with itself.
+        """
+        deadline = _deadline_clock() + self.lock_timeout
+        while True:
             try:
-                with open(self._manifest_path, "r", encoding="utf-8") as handle:
-                    on_disk = json.load(handle)
-            except (OSError, json.JSONDecodeError):
-                on_disk = {}
-            if (
-                on_disk.get("schema") == _MANIFEST_SCHEMA
-                and on_disk.get("encoding") == self.encoding
-            ):
-                merged = dict(on_disk.get("chunks", {}))
-                merged.update(self._chunks)
-                self._chunks = merged
+                fd = os.open(
+                    self._lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                break
+            except FileExistsError:
+                if self._break_stale_lock_locked():
+                    continue
+                if _deadline_clock() >= deadline:
+                    raise TimeoutError(
+                        f"timed out after {self.lock_timeout:.1f}s waiting for "
+                        f"chunk-store lock {self._lock_path}; if its holder is "
+                        f"dead it will be broken once it is "
+                        f"{self.stale_lock_seconds:.1f}s old"
+                    )
+                time.sleep(_LOCK_POLL_SECONDS)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(f"{os.getpid()}\n")
+            yield
+        finally:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self._lock_path)
+
+    def _break_stale_lock_locked(self) -> bool:
+        """Remove ``manifest.lock`` if its holder looks dead; True if removed.
+
+        Staleness is mtime age: live holders create-and-release within a
+        single JSON round-trip, so a lock older than
+        ``stale_lock_seconds`` belongs to a killed process.  The unlink
+        races other breakers benignly (``FileNotFoundError`` means
+        someone else already broke it).
+        """
+        try:
+            age = _now() - os.stat(self._lock_path).st_mtime
+        except FileNotFoundError:
+            return True  # released between our open attempt and the stat
+        if age <= self.stale_lock_seconds:
+            return False
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(self._lock_path)
+        counter_add("chunkstore.lock_breaks")
+        return True
+
+    def _load_chunks_locked(self) -> "dict[str, dict]":
+        """The on-disk chunk mapping, strictly validated.
+
+        A manifest that fails to parse raises — silently treating it as
+        empty would let the next commit overwrite it and drop every
+        entry another process had committed (dangling shards dressed as
+        a clean store).
+        """
+        if not os.path.exists(self._manifest_path):
+            return {}
+        try:
+            with open(self._manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"corrupt chunk-store manifest at {self._manifest_path}: {exc}; "
+                f"refusing to merge over it — restore the manifest from the "
+                f"shard files (entries are content-addressed) or move it aside"
+            ) from exc
+        if manifest.get("schema") != _MANIFEST_SCHEMA:
+            raise ValueError(
+                f"unsupported chunk-store manifest schema "
+                f"{manifest.get('schema')!r} at {self._manifest_path}"
+            )
+        if manifest.get("encoding") != self.encoding:
+            raise ValueError(
+                f"store at {self.root} was created with encoding "
+                f"{manifest.get('encoding')!r}; reopen with that encoding "
+                f"instead of {self.encoding!r}"
+            )
+        return dict(manifest.get("chunks", {}))
+
+    def _dump_manifest_locked(self, chunks: "dict[str, dict]") -> None:
+        """Atomically replace ``manifest.json`` (temp file + ``os.replace``).
+
+        Lock-free readers therefore always observe a complete manifest;
+        a crash mid-write leaves at worst a ``.manifest-*`` temp file,
+        reclaimed by :meth:`sweep_orphans`.
+        """
         manifest = {
             "schema": _MANIFEST_SCHEMA,
             "encoding": self.encoding,
-            "chunks": self._chunks,
+            "chunks": chunks,
         }
         fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".manifest-")
         try:
@@ -236,6 +403,65 @@ class ChunkStore:
                 os.unlink(tmp)
             raise
 
+    def _stat_token_locked(self) -> "tuple | None":
+        """Change token of the on-disk manifest: ``(st_mtime_ns, st_size)``."""
+        try:
+            st = os.stat(self._manifest_path)
+        except FileNotFoundError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def _commit_locked(self, mutate):
+        """Run one manifest transaction; returns ``mutate``'s result.
+
+        Caller holds the thread lock.  Acquires the cross-process
+        lockfile, re-reads the on-disk manifest (authoritative while the
+        lock is held — foreign commits are unioned in, foreign prunes
+        stay pruned), lets ``mutate`` edit the mapping in place,
+        atomically writes the result and installs it as this handle's
+        in-memory view.
+        """
+        with self._flock_locked():
+            chunks = self._load_chunks_locked()
+            result = mutate(chunks)
+            self._dump_manifest_locked(chunks)
+            self._chunks = chunks
+            self._manifest_token = self._stat_token_locked()
+        return result
+
+    def _refresh_locked(self, *, count: bool = True) -> int:
+        """Reload the manifest if its stat token moved; returns new addresses.
+
+        The token is stat'ed *before* the read, so a replace that lands
+        between the two at worst marks the view one commit old — the
+        next refresh reloads.  Foreign prunes are honoured: the on-disk
+        mapping replaces (not merges into) the in-memory view.
+        """
+        token = self._stat_token_locked()
+        if count and token == self._manifest_token:
+            return 0
+        chunks = self._load_chunks_locked()
+        added = sum(1 for address in chunks if address not in self._chunks)
+        self._chunks = chunks
+        self._manifest_token = token
+        if count:
+            counter_add("chunkstore.refreshes")
+        return added
+
+    def refresh(self) -> int:
+        """Pick up chunks other processes committed since our last load.
+
+        Cheap no-op (one ``stat``) when nothing changed.  Returns the
+        number of addresses that became visible.  ``get`` and ``in``
+        already call this on a miss; explicit refresh is for bulk
+        readers that iterate :meth:`addresses`.
+        """
+        with self._lock:
+            return self._refresh_locked()
+
+    # ------------------------------------------------------------------ #
+    # Read / write
+    # ------------------------------------------------------------------ #
     def _write_shard(
         self, address: str, array: np.ndarray, *, validated: bool = False
     ) -> dict:
@@ -270,11 +496,36 @@ class ChunkStore:
             "encoded_bytes": int(payload.nbytes),
             "decoded_bytes": int(array.nbytes),
             "max_abs_error": float(err),
+            "stored_at": _now(),
         }
         if scale is not None:
             entry["scale"] = float(scale)
             entry["offset"] = float(offset)
         return entry
+
+    def _commit_entries_locked(self, staged: "dict[str, tuple]") -> int:
+        """Transactionally add staged ``{address: (entry, float64 array)}``.
+
+        First-writer-wins against foreign commits.  Each surviving entry
+        re-checks its shard file inside the transaction and rewrites it
+        if a concurrent ``prune``/``sweep_orphans`` unlinked it between
+        our (lock-free) shard write and this commit — shards are only
+        ever removed under the lock, so the re-check closes that race.
+        Returns the number of entries this handle added.
+        """
+
+        def mutate(chunks: "dict[str, dict]") -> int:
+            written = 0
+            for address, (entry, array) in staged.items():
+                if address in chunks:
+                    continue  # a foreign writer of the same content won
+                if not os.path.exists(self._shard_path(address)):
+                    entry = self._write_shard(address, array, validated=True)
+                chunks[address] = entry
+                written += 1
+            return written
+
+        return self._commit_locked(mutate)
 
     def put(self, address: str, array: np.ndarray) -> dict:
         """Persist one chunk; returns its manifest entry.
@@ -282,7 +533,7 @@ class ChunkStore:
         Idempotent: an address already in the store is left untouched
         (content addresses make re-encoding pointless), so concurrent
         writers of the same chunk cannot corrupt each other.  For many
-        chunks at once prefer :meth:`put_many`, which writes the
+        chunks at once prefer :meth:`put_many`, which commits the
         manifest a single time.
         """
         address = str(address)
@@ -290,25 +541,23 @@ class ChunkStore:
             entry = self._chunks.get(address)
             if entry is not None:
                 return dict(entry)
+        array = np.asarray(array, dtype=np.float64)
         with span("chunkstore.put", bytes=array.nbytes, encoding=self.encoding):
             entry = self._write_shard(address, array)
         counter_add("chunkstore.writes")
         counter_add("chunkstore.written_bytes", array.nbytes)
         with self._lock:
-            # First writer wins; a concurrent identical put raced us to the
-            # same content, so either entry is correct.
-            entry = self._chunks.setdefault(address, entry)
-            self._write_manifest_locked()
-            return dict(entry)
+            self._commit_entries_locked({address: (entry, array)})
+            return dict(self._chunks[address])
 
     def put_many(self, chunks: "dict[str, np.ndarray]") -> int:
-        """Persist a batch of chunks with one manifest write.
+        """Persist a batch of chunks with one manifest transaction.
 
         The manifest is O(stored chunks) to serialise, so per-chunk
-        writes would cost O(N^2) over a store's lifetime; the serving
-        write-through path lands every synthesis flight through this
-        batched form instead.  Returns the number of chunks actually
-        written (addresses already present are skipped).
+        commits would cost O(N^2) over a store's lifetime; the serving
+        write-through path and the campaign store writer land every
+        batch through this form instead.  Returns the number of chunks
+        actually written (addresses already present are skipped).
         """
         with self._lock:
             pending = {
@@ -336,36 +585,70 @@ class ChunkStore:
             bytes=batch_bytes,
             encoding=self.encoding,
         ):
-            entries = {
-                address: self._write_shard(address, array, validated=True)
+            staged = {
+                address: (
+                    self._write_shard(address, array, validated=True),
+                    array,
+                )
                 for address, array in pending.items()
             }
         counter_add("chunkstore.writes", len(pending))
         counter_add("chunkstore.written_bytes", batch_bytes)
         with self._lock:
-            written = 0
-            for address, entry in entries.items():
-                if self._chunks.setdefault(address, entry) is entry:
-                    written += 1
-            self._write_manifest_locked()
-            return written
+            return self._commit_entries_locked(staged)
 
     def get(self, address: str) -> "np.ndarray | None":
-        """The decoded ``float64`` chunk, or ``None`` if absent."""
+        """The decoded ``float64`` chunk, or ``None`` if absent.
+
+        The decoded payload is validated against the manifest entry
+        (shape) before it is returned; a missing, truncated or
+        wrong-shape shard raises ``ValueError`` naming the shard instead
+        of handing corrupt bytes to the caller.
+        """
         address = str(address)
         with self._lock:
             entry = self._chunks.get(address)
             if entry is None:
+                self._refresh_locked()
+                entry = self._chunks.get(address)
+            if entry is None:
                 return None
-            path = os.path.join(self.root, entry["file"])
+            entry = dict(entry)
+        path = os.path.join(self.root, entry["file"])
         with span("chunkstore.get", encoding=self.encoding) as sp:
-            with np.load(path) as payload:
-                decoded = _decode(
-                    payload["data"],
-                    payload["scale"] if "scale" in payload else None,
-                    payload["offset"] if "offset" in payload else None,
-                )
+            try:
+                # Own the file handle: np.load(path) leaks its descriptor
+                # when the zip directory is corrupt (it raises before the
+                # NpzFile that would close it exists).
+                with open(path, "rb") as handle, np.load(handle) as payload:
+                    decoded = _decode(
+                        payload["data"],
+                        payload["scale"] if "scale" in payload else None,
+                        payload["offset"] if "offset" in payload else None,
+                    )
+            except FileNotFoundError as exc:
+                raise ValueError(
+                    f"manifest entry for chunk {address!r} points at missing "
+                    f"shard {entry['file']!r} under {self.root}; the store "
+                    f"was corrupted outside the commit protocol (shards are "
+                    f"only unlinked after their entries are removed)"
+                ) from exc
+            except (zipfile.BadZipFile, OSError, KeyError) as exc:
+                raise ValueError(
+                    f"shard {entry['file']!r} for chunk {address!r} under "
+                    f"{self.root} is unreadable ({exc}); the file is "
+                    f"truncated or corrupt — remove the entry and re-put "
+                    f"the chunk"
+                ) from exc
             sp.set(bytes=decoded.nbytes)
+        expected = tuple(int(s) for s in entry["shape"])
+        if decoded.shape != expected:
+            raise ValueError(
+                f"shard {entry['file']!r} for chunk {address!r} decodes to "
+                f"shape {tuple(decoded.shape)} but its manifest entry "
+                f"records {expected}; the shard and manifest disagree — "
+                f"remove the entry and re-put the chunk"
+            )
         counter_add("chunkstore.reads")
         counter_add("chunkstore.read_bytes", decoded.nbytes)
         return decoded
@@ -375,6 +658,136 @@ class ChunkStore:
         with self._lock:
             entry = self._chunks.get(str(address))
             return dict(entry) if entry is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+    def prune(
+        self,
+        *,
+        max_bytes: "int | None" = None,
+        max_age: "float | None" = None,
+        now: "float | None" = None,
+    ) -> dict:
+        """Drop stored chunks by age and/or an encoded-byte budget.
+
+        ``max_age`` removes every chunk whose ``stored_at`` timestamp is
+        more than that many seconds before ``now`` (entries written by
+        pre-GC stores carry no timestamp and count as infinitely old).
+        ``max_bytes`` then evicts oldest-first — deterministically, ties
+        broken by address — until the surviving encoded bytes fit the
+        budget.  ``now`` defaults to the wall clock; tests pass it
+        explicitly.
+
+        One transaction: the shrunk manifest is committed durably
+        *before* any shard file is unlinked, and the unlinks happen
+        while the cross-process lock is still held — a crash mid-prune
+        strands orphan shards (reclaimed by :meth:`sweep_orphans`),
+        never a manifest entry pointing at a missing shard.
+
+        Returns ``{"pruned_chunks", "pruned_bytes", "remaining_chunks",
+        "remaining_bytes"}``.
+        """
+        if max_bytes is None and max_age is None:
+            raise ValueError("prune() needs max_bytes=, max_age=, or both")
+        if now is None:
+            now = _now()
+        with self._lock, self._flock_locked():
+            chunks = self._load_chunks_locked()
+            doomed: dict[str, dict] = {}
+            if max_age is not None:
+                cutoff = float(now) - float(max_age)
+                for address, entry in chunks.items():
+                    if float(entry.get("stored_at", float("-inf"))) < cutoff:
+                        doomed[address] = entry
+            if max_bytes is not None:
+                survivors = [
+                    (float(entry.get("stored_at", float("-inf"))), address)
+                    for address, entry in chunks.items()
+                    if address not in doomed
+                ]
+                total = sum(
+                    int(chunks[address]["encoded_bytes"])
+                    for _, address in survivors
+                )
+                for _, address in sorted(survivors):
+                    if total <= int(max_bytes):
+                        break
+                    doomed[address] = chunks[address]
+                    total -= int(chunks[address]["encoded_bytes"])
+            kept = {
+                address: entry
+                for address, entry in chunks.items()
+                if address not in doomed
+            }
+            self._dump_manifest_locked(kept)
+            self._chunks = kept
+            self._manifest_token = self._stat_token_locked()
+            # Entries are durably gone; now the shards. Still under the
+            # lock, so no writer can commit against a path mid-unlink.
+            for entry in doomed.values():
+                with contextlib.suppress(FileNotFoundError):
+                    os.unlink(os.path.join(self.root, entry["file"]))
+            remaining_bytes = sum(
+                int(entry["encoded_bytes"]) for entry in kept.values()
+            )
+        pruned_bytes = sum(
+            int(entry["encoded_bytes"]) for entry in doomed.values()
+        )
+        counter_add("chunkstore.pruned_chunks", len(doomed))
+        counter_add("chunkstore.pruned_bytes", pruned_bytes)
+        return {
+            "pruned_chunks": len(doomed),
+            "pruned_bytes": pruned_bytes,
+            "remaining_chunks": len(kept),
+            "remaining_bytes": remaining_bytes,
+        }
+
+    def sweep_orphans(self, *, grace_seconds: float = 3600.0) -> int:
+        """Reclaim unreferenced shards and stale temp files; returns count.
+
+        Orphans are the deliberate crash residue of the commit protocol:
+        a shard written whose commit never happened, a shard stranded by
+        a crash mid-``prune``, or a ``.manifest-*``/``.shard-*`` temp
+        file from a torn write.  Only files older than ``grace_seconds``
+        (mtime) are touched — the grace window must exceed the longest
+        gap between a writer's shard write and its manifest commit,
+        which is why the default is generous.  Runs as one transaction
+        under the cross-process lock, against the authoritative on-disk
+        manifest.
+        """
+        removed = 0
+        cutoff = _now() - float(grace_seconds)
+        with self._lock, self._flock_locked():
+            chunks = self._load_chunks_locked()
+            self._chunks = chunks
+            self._manifest_token = self._stat_token_locked()
+            referenced = {
+                os.path.normpath(os.path.join(self.root, entry["file"]))
+                for entry in chunks.values()
+            }
+            keep = {
+                os.path.normpath(self._manifest_path),
+                os.path.normpath(self._lock_path),
+            }
+            for dirpath, _, filenames in os.walk(self.root):
+                for filename in filenames:
+                    path = os.path.normpath(os.path.join(dirpath, filename))
+                    if path in referenced or path in keep:
+                        continue
+                    is_shard = filename.endswith(".npz")
+                    is_tmp = filename.startswith((".shard-", ".manifest-"))
+                    if not (is_shard or is_tmp):
+                        continue
+                    try:
+                        if os.stat(path).st_mtime >= cutoff:
+                            continue
+                        os.unlink(path)
+                    except FileNotFoundError:
+                        continue
+                    removed += 1
+        counter_add("chunkstore.orphans_swept", removed)
+        return removed
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -615,3 +615,113 @@ class TestTelemetryHygiene:
         )
         assert lint_source(source, "src/repro/core/example.py",
                            rules=["telemetry-hygiene"]) == []
+
+
+# --------------------------------------------------------------------- #
+# manifest-commit
+# --------------------------------------------------------------------- #
+STORE_OUTSIDE_PROTOCOL = """
+    class Store:
+        def __init__(self):
+            self._chunks = {}
+            self._manifest_token = None
+
+        def _dump_manifest_locked(self, chunks):
+            pass
+
+        def _flock_locked(self):
+            pass
+
+        def add(self, address, entry):
+            self._chunks[address] = entry
+            self._dump_manifest_locked(self._chunks)
+"""
+
+STORE_INSIDE_PROTOCOL = """
+    class Store:
+        def __init__(self):
+            self._chunks = {}
+            self._manifest_token = None
+
+        def _dump_manifest_locked(self, chunks):
+            pass
+
+        def _flock_locked(self):
+            pass
+
+        def _commit_locked(self, entry):
+            self._chunks.update(entry)
+            self._dump_manifest_locked(self._chunks)
+
+        def prune(self):
+            with self._flock_locked():
+                self._chunks = {}
+                self._dump_manifest_locked(self._chunks)
+                self._manifest_token = None
+"""
+
+
+class TestManifestCommit:
+    def test_mutation_and_dump_outside_protocol_fire(self):
+        findings = run(
+            STORE_OUTSIDE_PROTOCOL,
+            relpath="src/repro/storage/example.py",
+            rules=["manifest-commit"],
+        )
+        assert rule_ids(findings) == ["manifest-commit", "manifest-commit"]
+        assert "self._chunks" in findings[0].message
+        assert "_dump_manifest_locked" in findings[1].message
+
+    def test_locked_methods_and_transactions_are_clean(self):
+        assert run(
+            STORE_INSIDE_PROTOCOL,
+            relpath="src/repro/storage/example.py",
+            rules=["manifest-commit"],
+        ) == []
+
+    def test_mutator_calls_fire(self):
+        source = STORE_OUTSIDE_PROTOCOL.replace(
+            "self._chunks[address] = entry",
+            "self._chunks.update({address: entry})",
+        )
+        findings = run(
+            source,
+            relpath="src/repro/storage/example.py",
+            rules=["manifest-commit"],
+        )
+        assert rule_ids(findings) == ["manifest-commit", "manifest-commit"]
+        assert "self._chunks.update()" in findings[0].message
+
+    def test_out_of_scope_paths_and_manifestless_classes_are_clean(self):
+        # Same source outside src/repro/storage/ is out of scope...
+        assert run(STORE_OUTSIDE_PROTOCOL, rules=["manifest-commit"]) == []
+        # ...and a storage class without a _dump_manifest* method is too.
+        source = """
+            class Cache:
+                def __init__(self):
+                    self._chunks = {}
+
+                def add(self, address, entry):
+                    self._chunks[address] = entry
+        """
+        assert run(
+            source,
+            relpath="src/repro/storage/example.py",
+            rules=["manifest-commit"],
+        ) == []
+
+    def test_pragma_with_reason_suppresses(self):
+        source = STORE_OUTSIDE_PROTOCOL.replace(
+            "self._chunks[address] = entry",
+            "# reprolint: allow[manifest-commit] single-process test double\n"
+            "            self._chunks[address] = entry",
+        ).replace(
+            "self._dump_manifest_locked(self._chunks)",
+            "# reprolint: allow[manifest-commit] single-process test double\n"
+            "            self._dump_manifest_locked(self._chunks)",
+        )
+        assert run(
+            source,
+            relpath="src/repro/storage/example.py",
+            rules=["manifest-commit"],
+        ) == []

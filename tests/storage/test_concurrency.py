@@ -1,0 +1,115 @@
+"""Multi-process writer stress: the manifest is the exact union.
+
+Four worker processes hammer one store root through the real commit
+protocol — mixed ``put``/``put_many``, deliberately overlapping
+addresses (content-addressed writes collide benignly), interleaved
+``get``/``stats``/``refresh`` reads — while the parent doubles as a
+fifth, concurrent reader.  Afterwards: every address from every worker
+is present exactly once, every chunk decodes to the deterministic
+content its address implies, and the error accounting survived the
+contention intact.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.storage.chunkstore import ChunkStore
+
+from faultfs import payload_for  # tests/storage is on sys.path (rootdir layout)
+
+N_WORKERS = 4
+CHUNKS_PER_WORKER = 12
+#: Addresses deliberately written by *both* neighbouring workers, to
+#: exercise first-writer-wins on identical content.
+SHARED_ADDRESSES = ["shared00", "shared01", "shared02"]
+
+
+def _worker_addresses(worker: int) -> list:
+    return [f"w{worker}c{i:02d}" for i in range(CHUNKS_PER_WORKER)]
+
+
+def _stress_writer(args) -> dict:
+    """One writer process: put its slice, read back what others wrote."""
+    root, encoding, worker = args
+    store = ChunkStore(root, encoding=encoding, lock_timeout=60.0)
+    own = _worker_addresses(worker)
+    # Half through single puts, half through one batched commit, the
+    # shared addresses interleaved so every pair of workers collides.
+    for address in own[: CHUNKS_PER_WORKER // 2]:
+        store.put(address, payload_for(address))
+        store.stats()
+    for address in SHARED_ADDRESSES:
+        store.put(address, payload_for(address))
+    store.put_many(
+        {a: payload_for(a) for a in own[CHUNKS_PER_WORKER // 2:]}
+    )
+    # Interleaved reads: whatever is visible must decode correctly.
+    store.refresh()
+    seen = 0
+    for address in store.addresses():
+        chunk = store.get(address)
+        if chunk is not None:
+            err = float(np.max(np.abs(chunk - payload_for(address))))
+            assert err <= store.entry(address)["max_abs_error"] + 1e-12
+            seen += 1
+    return {"worker": worker, "wrote": len(own), "saw": seen, "pid": os.getpid()}
+
+
+@pytest.mark.parametrize("encoding", ["float64", "int16"])
+def test_concurrent_writers_lose_nothing(tmp_path, encoding):
+    root = str(tmp_path)
+    expected = sorted(
+        {a for w in range(N_WORKERS) for a in _worker_addresses(w)}
+        | set(SHARED_ADDRESSES)
+    )
+    with ProcessPoolExecutor(max_workers=N_WORKERS) as pool:
+        futures = [
+            pool.submit(_stress_writer, (root, encoding, worker))
+            for worker in range(N_WORKERS)
+        ]
+        # The parent is a concurrent reader on the same root while the
+        # writers run: partial views are fine, corrupt ones are not.
+        observer = ChunkStore(root, encoding=encoding)
+        for _ in range(20):
+            observer.refresh()
+            stats = observer.stats()
+            assert stats["n_chunks"] == len(observer.addresses())
+        results = [future.result(timeout=300) for future in futures]
+
+    assert sorted(r["worker"] for r in results) == list(range(N_WORKERS))
+    # Zero lost entries: the final manifest is the exact union.
+    final = ChunkStore(root, encoding=encoding)
+    assert final.addresses() == expected
+    assert observer.refresh() >= 0  # the live handle converges too
+    assert observer.addresses() == expected
+
+    # Every chunk decodes to the content its address implies, and the
+    # error accounting survived: exact for the lossless tier, a bounded
+    # measured maximum for the quantized one.
+    worst = 0.0
+    for address in expected:
+        chunk = final.get(address)
+        reference = payload_for(address)
+        entry = final.entry(address)
+        err = float(np.max(np.abs(chunk - reference)))
+        assert err <= entry["max_abs_error"] + 1e-12
+        worst = max(worst, err)
+    if encoding == "float64":
+        assert final.max_abs_error() == 0.0
+        assert worst == 0.0
+    else:
+        assert 0.0 < final.max_abs_error() < 0.01  # ~10 K spread / 2^15
+        assert final.max_abs_error() + 1e-12 >= worst
+
+
+def test_two_handles_racing_to_initialise_one_root(tmp_path):
+    """Both constructors commit the empty manifest through the lock."""
+    first = ChunkStore(tmp_path, encoding="float64")
+    second = ChunkStore(tmp_path, encoding="float64")
+    first.put("aa11", payload_for("aa11"))
+    second.put("bb22", payload_for("bb22"))
+    assert first.refresh() == 1  # picks up bb22
+    assert first.addresses() == second.addresses() == ["aa11", "bb22"]

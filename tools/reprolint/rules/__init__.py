@@ -12,6 +12,7 @@ from tools.reprolint.rules import (  # noqa: F401  (imported for registration)
     determinism,
     indexing,
     locking,
+    manifest,
     protocol,
     storagewrite,
     style,
@@ -21,6 +22,7 @@ from tools.reprolint.rules.api_hygiene import ApiHygieneRule
 from tools.reprolint.rules.determinism import DeterminismRule
 from tools.reprolint.rules.indexing import IndexRecoveryRule
 from tools.reprolint.rules.locking import LockDisciplineRule
+from tools.reprolint.rules.manifest import ManifestCommitRule
 from tools.reprolint.rules.protocol import StateProtocolRule
 from tools.reprolint.rules.storagewrite import NonFiniteWriteRule
 from tools.reprolint.rules.style import BareExceptRule, MutableDefaultRule
@@ -32,6 +34,7 @@ __all__ = [
     "DeterminismRule",
     "IndexRecoveryRule",
     "LockDisciplineRule",
+    "ManifestCommitRule",
     "MutableDefaultRule",
     "NonFiniteWriteRule",
     "StateProtocolRule",
