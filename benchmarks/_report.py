@@ -5,10 +5,12 @@ Every benchmark used to carry its own copy of three idioms: the
 ``JSON summary:`` line, and the ``BENCH_<name>.json`` artifact write.
 They live here once, and the artifact is schema-versioned so CI
 consumers can evolve without guessing: each report carries ``schema``,
-``benchmark``, ``repro_version``, the benchmark's own ``summary`` dict,
-and a :func:`repro.obs.metrics_snapshot` of the process-wide registry —
-so a fit benchmark's report shows its plan-cache hit counts and SHT
-duration histograms alongside the headline numbers.
+``benchmark``, ``repro_version``, a ``git`` stamp (SHA + branch) and
+UTC ``timestamp`` (the commit axis ``tools/benchwatch.py`` trajectories
+are gated against), the benchmark's own ``summary`` dict, and a
+:func:`repro.obs.metrics_snapshot` of the process-wide registry — so a
+fit benchmark's report shows its plan-cache hit counts and SHT duration
+histograms alongside the headline numbers.
 
 The artifact path defaults to ``BENCH_<name>.json`` in the working
 directory; ``REPRO_BENCH_OUT`` overrides it (CI uses this to land every
@@ -20,12 +22,42 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
+from datetime import datetime, timezone
 
 from repro import __version__
 from repro.obs import metrics_snapshot
 
 #: Bump when the report layout changes shape (not when fields are added).
-SCHEMA_VERSION = 1
+#: v2 added the ``git`` block and ``timestamp`` — the commit axis
+#: ``tools/benchwatch.py`` trajectories are plotted and gated against.
+#: Readers stay tolerant of v1 reports (both fields absent).
+SCHEMA_VERSION = 2
+
+
+def _git(*args: str) -> "str | None":
+    """One git query against this repo, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    result = out.stdout.strip()
+    return result if out.returncode == 0 and result else None
+
+
+def git_stamp() -> dict:
+    """The report's commit axis: ``{"sha", "branch"}`` (``None`` outside git)."""
+    return {
+        "sha": _git("rev-parse", "HEAD"),
+        "branch": _git("rev-parse", "--abbrev-ref", "HEAD"),
+    }
 
 
 def soft_gate(condition: bool, message: str) -> None:
@@ -60,6 +92,8 @@ def write_report(name: str, summary: dict) -> str:
         "benchmark": name,
         "repro_version": __version__,
         "python_version": platform.python_version(),
+        "git": git_stamp(),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
         "summary": summary,
         "metrics": metrics_snapshot(),
     }

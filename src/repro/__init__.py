@@ -56,7 +56,7 @@ Quickstart
 ...     n_realizations=5, max_workers=4)
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from repro import obs
 from repro.core.config import EmulatorConfig

@@ -13,6 +13,18 @@ autotuner read from.  It has two halves:
   shapes, cache outcomes, flop estimates) and export JSON-lines traces
   for :mod:`tools.tracereport`.
 
+On top sits the *operational* half:
+
+* :mod:`repro.obs.export` — Prometheus/JSON rendering of registry
+  snapshots and :func:`start_metrics_server` serving ``/metrics``,
+  ``/healthz`` and ``/readyz`` from a daemon thread;
+* :mod:`repro.obs.sampler` — :class:`ResourceSampler`, a background
+  resource watchdog publishing ``resource.*`` gauges (RSS, open fds,
+  threads, cache and store footprints) on an interval;
+* :mod:`repro.obs.slo` — :class:`SLO` objectives over named latency
+  histograms, evaluated by :func:`evaluate_slos` and surfaced as
+  ``EmulationService.slo_report()``.
+
 Telemetry is contractually **bit-inert** (arrays are bit-identical with
 tracing on, off, or toggled mid-run) and **near-free when disabled**
 (<2% on the batched-synthesis path, gated by
@@ -33,6 +45,16 @@ process without touching its code, then summarise the file with
 
 from __future__ import annotations
 
+from repro.obs.export import (
+    MetricsServer,
+    clear_readiness,
+    components_ready,
+    mark_ready,
+    readiness,
+    render_json,
+    render_prometheus,
+    start_metrics_server,
+)
 from repro.obs.metrics import (
     METRIC_NAME_RE,
     MetricsRegistry,
@@ -43,6 +65,8 @@ from repro.obs.metrics import (
     observe,
     reset_metrics,
 )
+from repro.obs.sampler import ResourceSampler
+from repro.obs.slo import DEFAULT_SERVING_SLOS, SLO, evaluate_slos
 from repro.obs.tracing import (
     Span,
     clear_trace,
@@ -56,21 +80,33 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "DEFAULT_SERVING_SLOS",
     "METRIC_NAME_RE",
     "MetricsRegistry",
+    "MetricsServer",
+    "ResourceSampler",
+    "SLO",
     "Span",
+    "clear_readiness",
     "clear_trace",
+    "components_ready",
     "counter_add",
     "current_span",
     "disable",
     "enable",
     "enabled",
+    "evaluate_slos",
     "gauge_set",
     "get_registry",
+    "mark_ready",
     "metrics_snapshot",
     "observe",
+    "readiness",
+    "render_json",
+    "render_prometheus",
     "reset_metrics",
     "span",
+    "start_metrics_server",
     "trace_records",
     "tracing",
 ]

@@ -1,0 +1,364 @@
+"""Live metrics export: Prometheus/JSON rendering and the scrape endpoint.
+
+This is the *operational* face of the metrics registry
+(:mod:`repro.obs.metrics`): instead of callers polling
+:func:`~repro.obs.metrics.metrics_snapshot` in-process, a snapshot can
+be rendered to the Prometheus text exposition format (version 0.0.4)
+or to JSON, and :func:`start_metrics_server` serves both from a
+stdlib-``http.server`` daemon thread so any scraper — ``curl``, a
+Prometheus instance, a load balancer's health probe — can watch a
+campaign or a serving process live.
+
+Endpoints of the server:
+
+* ``/metrics`` — Prometheus text exposition of the registry snapshot
+  (dotted instrument names are mangled to underscores:
+  ``sht.plan_cache.hits`` becomes ``sht_plan_cache_hits``; histograms
+  render as Prometheus summaries with ``quantile`` labels plus
+  ``_sum``/``_count``), with SLO status gauges appended when the server
+  was given objectives;
+* ``/metrics.json`` — the same snapshot as a JSON document;
+* ``/healthz`` — liveness: 200 whenever the process can answer at all;
+* ``/readyz`` — readiness: 200 once at least one component has called
+  :func:`mark_ready` and none has withdrawn —
+  :class:`~repro.serving.service.EmulationService` marks ``"serving"``
+  ready on construction, so a fresh serving process flips from 503 to
+  200 exactly when it can answer field requests.
+
+The whole module is **strictly read-only** over the registry: rendering
+takes a detached snapshot, the server never mutates an instrument, and
+the export path is covered by the same bit-inertness contract as
+tracing (``tests/obs/test_bit_inertness.py`` pins emitted arrays
+bit-identical with the exporter and sampler on, off, or toggled
+mid-run).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.slo import evaluate_slos
+
+__all__ = [
+    "MetricsServer",
+    "clear_readiness",
+    "components_ready",
+    "mark_ready",
+    "readiness",
+    "render_json",
+    "render_prometheus",
+    "start_metrics_server",
+]
+
+#: Characters Prometheus allows in a metric name; everything else is
+#: mangled to ``_`` (dotted registry names become underscored).
+_NAME_OK_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Histogram summary statistics exported as ``quantile`` labels.
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+_LOCK = threading.Lock()
+_READY: dict[str, bool] = {}
+
+
+# --------------------------------------------------------------------- #
+# Readiness
+# --------------------------------------------------------------------- #
+def mark_ready(component: str, ready: bool = True) -> None:
+    """Declare ``component`` ready (or withdraw it with ``ready=False``).
+
+    ``/readyz`` answers 200 once at least one component is ready and no
+    registered component is unready.  Construction-time wiring:
+    :class:`~repro.serving.service.EmulationService` calls
+    ``mark_ready("serving")`` when it finishes initialising, so a
+    serving process becomes ready exactly when it can answer requests.
+    """
+    with _LOCK:
+        _READY[str(component)] = bool(ready)
+
+
+def readiness() -> dict:
+    """Copy of the readiness map (``component -> ready``)."""
+    with _LOCK:
+        return dict(sorted(_READY.items()))
+
+
+def components_ready() -> bool:
+    """Whether at least one component registered and none is unready."""
+    with _LOCK:
+        return bool(_READY) and all(_READY.values())
+
+
+def clear_readiness() -> None:
+    """Forget every registered component (tests, forked workers)."""
+    with _LOCK:
+        _READY.clear()
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+def _mangle(name: str) -> str:
+    """Prometheus-legal metric name for a dotted registry name."""
+    mangled = _NAME_OK_RE.sub("_", str(name))
+    if not mangled or mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the exposition format spec."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label *value* per the exposition format spec."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Exposition spelling of a sample value (``+Inf``/``-Inf``/``NaN``)."""
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+def _labels(pairs: dict) -> str:
+    """Rendered ``{key="value",...}`` label set (sorted, escaped)."""
+    inner = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in sorted(pairs.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: dict, *, slo_report: "dict | None" = None) -> str:
+    """Render a registry snapshot to Prometheus text exposition format.
+
+    ``snapshot`` is the :meth:`~repro.obs.MetricsRegistry.snapshot`
+    layout (``counters``/``gauges``/``histograms``).  Counters and
+    gauges render as their own types; histogram summaries render as
+    Prometheus *summaries*: nearest-rank window quantiles as
+    ``quantile``-labelled samples plus lifetime ``_sum``/``_count``
+    series.  Instrument names are mangled (``.`` and any other
+    non-``[a-zA-Z0-9_:]`` character become ``_``); the original dotted
+    name is kept in the ``# HELP`` line.
+
+    ``slo_report`` (an :func:`repro.obs.slo.evaluate_slos` report)
+    appends ``slo_ok``/``slo_target``/``slo_observed`` gauges labelled
+    by objective so scrapers can alert on objective violations without
+    re-deriving thresholds.
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        mangled = _mangle(name)
+        lines.append(f"# HELP {mangled} {_escape_help(f'repro counter {name}')}")
+        lines.append(f"# TYPE {mangled} counter")
+        lines.append(f"{mangled} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        mangled = _mangle(name)
+        lines.append(f"# HELP {mangled} {_escape_help(f'repro gauge {name}')}")
+        lines.append(f"# TYPE {mangled} gauge")
+        lines.append(f"{mangled} {_format_value(value)}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        mangled = _mangle(name)
+        lines.append(f"# HELP {mangled} {_escape_help(f'repro histogram {name}')}")
+        lines.append(f"# TYPE {mangled} summary")
+        for quantile, stat in _QUANTILES:
+            if stat in summary:
+                lines.append(
+                    f"{mangled}{_labels({'quantile': quantile})} "
+                    f"{_format_value(summary[stat])}"
+                )
+        lines.append(f"{mangled}_sum {_format_value(summary.get('sum', 0.0))}")
+        lines.append(f"{mangled}_count {_format_value(summary.get('count', 0))}")
+    if slo_report is not None:
+        for series in ("slo_ok", "slo_target", "slo_observed"):
+            lines.append(
+                f"# HELP {series} "
+                f"{_escape_help('repro SLO status (see repro.obs.slo)')}"
+            )
+            lines.append(f"# TYPE {series} gauge")
+        for entry in slo_report.get("slos", []):
+            for objective, detail in entry.get("objectives", {}).items():
+                labels = _labels({"slo": entry["name"], "objective": objective})
+                lines.append(
+                    f"slo_ok{labels} {_format_value(1.0 if detail['ok'] else 0.0)}"
+                )
+                lines.append(f"slo_target{labels} {_format_value(detail['target'])}")
+                if detail.get("observed") is not None:
+                    lines.append(
+                        f"slo_observed{labels} {_format_value(detail['observed'])}"
+                    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snapshot: dict, *, slo_report: "dict | None" = None) -> str:
+    """Render a registry snapshot (plus optional SLO report) as JSON."""
+    document = {"metrics": snapshot}
+    if slo_report is not None:
+        document["slo"] = slo_report
+    return json.dumps(document, sort_keys=True, indent=2)
+
+
+# --------------------------------------------------------------------- #
+# The scrape endpoint
+# --------------------------------------------------------------------- #
+class MetricsServer:
+    """A read-only metrics endpoint on a daemon thread.
+
+    Serves ``/metrics`` (Prometheus text), ``/metrics.json``,
+    ``/healthz`` and ``/readyz`` from ``registry`` (the process-wide
+    registry by default).  The server renders a fresh detached snapshot
+    per scrape and never writes an instrument, so it is covered by the
+    telemetry layer's bit-inertness contract.  Use
+    :func:`start_metrics_server` (or the context-manager form) rather
+    than instantiating directly::
+
+        with start_metrics_server(port=0) as server:
+            print(server.url)          # http://127.0.0.1:<port>
+
+    ``port=0`` binds an ephemeral port (tests); production scrapes pin
+    one.  ``slos`` adds SLO status gauges to every ``/metrics`` scrape.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        registry: "MetricsRegistry | None" = None,
+        slos: tuple = (),
+    ):
+        self._registry = get_registry() if registry is None else registry
+        self._slos = tuple(slos)
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # quiet: scrapes are not news
+                pass
+
+            def do_GET(self) -> None:
+                server._respond(self)
+
+        self._http = ThreadingHTTPServer((host, int(port)), _Handler)
+        self._http.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        """Bound host."""
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (the real one, also when constructed with ``port=0``)."""
+        return int(self._http.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint (``http://host:port``)."""
+        return f"http://{self.host}:{self.port}"
+
+    def _slo_report(self) -> "dict | None":
+        if not self._slos:
+            return None
+        return evaluate_slos(self._slos, snapshot=self._registry.snapshot())
+
+    def _respond(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(
+                self._registry.snapshot(), slo_report=self._slo_report()
+            )
+            self._send(handler, 200, body, "text/plain; version=0.0.4")
+        elif path == "/metrics.json":
+            body = render_json(
+                self._registry.snapshot(), slo_report=self._slo_report()
+            )
+            self._send(handler, 200, body, "application/json")
+        elif path == "/healthz":
+            self._send(handler, 200, "ok\n", "text/plain")
+        elif path == "/readyz":
+            ready = components_ready()
+            body = json.dumps({"ready": ready, "components": readiness()}) + "\n"
+            self._send(handler, 200 if ready else 503, body, "application/json")
+        else:
+            self._send(handler, 404, "not found\n", "text/plain")
+
+    @staticmethod
+    def _send(
+        handler: BaseHTTPRequestHandler, status: int, body: str, content_type: str
+    ) -> None:
+        payload = body.encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(payload)))
+        handler.end_headers()
+        handler.wfile.write(payload)
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join its thread (idempotent)."""
+        self._http.shutdown()
+        self._http.server_close()
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def start_metrics_server(
+    port: int = 0,
+    *,
+    host: str = "127.0.0.1",
+    registry: "MetricsRegistry | None" = None,
+    slos: tuple = (),
+) -> MetricsServer:
+    """Start the metrics endpoint on a daemon thread and return it.
+
+    Parameters
+    ----------
+    port:
+        TCP port to bind (``0`` picks a free ephemeral port; read it
+        back from ``server.port``).
+    host:
+        Bind address (loopback by default — exporting a scrape endpoint
+        beyond the host is a deployment decision, not a default).
+    registry:
+        Registry to serve (the process-wide one by default).  Serving
+        a per-instance registry — an
+        :class:`~repro.serving.service.EmulationService`'s
+        ``service.metrics`` — works the same way on another port.
+    slos:
+        :class:`~repro.obs.slo.SLO` objectives evaluated per scrape and
+        appended to ``/metrics`` as ``slo_ok``/``slo_target``/
+        ``slo_observed`` gauges.
+
+    Returns
+    -------
+    MetricsServer
+        The live endpoint; call ``stop()`` (or use it as a context
+        manager) to shut it down.
+    """
+    return MetricsServer(port, host=host, registry=registry, slos=slos)

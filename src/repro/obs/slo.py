@@ -1,0 +1,158 @@
+"""Service-level objectives over named metric histograms.
+
+The telemetry layer records latency histograms for every span
+(:mod:`repro.obs.tracing` always observes ``<name>.seconds``); this
+module declares *objectives* over those histograms and evaluates them
+from registry summaries, so "is serving healthy?" becomes a data
+question instead of a judgement call::
+
+    from repro.obs import SLO, evaluate_slos
+
+    report = evaluate_slos([SLO("serve.get.seconds", p99=0.050)])
+    report["ok"]                      # every objective met?
+    report["violations"]              # ["serve.get.seconds p99 ..."] if not
+
+:class:`~repro.serving.service.EmulationService` surfaces the serving
+defaults directly as :meth:`~repro.serving.service.EmulationService.slo_report`,
+and :func:`repro.obs.export.start_metrics_server` renders any report as
+``slo_ok``/``slo_target``/``slo_observed`` gauges on ``/metrics`` so
+scrapers can alert on objective violations.
+
+Evaluation is read-only over a snapshot — declaring or evaluating SLOs
+never touches an instrument, so the bit-inertness contract holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.obs.metrics import METRIC_NAME_RE, MetricsRegistry, get_registry
+
+__all__ = ["DEFAULT_SERVING_SLOS", "SLO", "evaluate_slos"]
+
+#: Histogram summary statistics an objective may bound.  Each maps an
+#: ``SLO`` field to the key in the registry's histogram summary dict.
+_OBJECTIVE_STATS = ("p50", "p90", "p99", "mean", "max")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """An objective over one named histogram: upper bounds on its stats.
+
+    ``name`` is the dotted histogram name as recorded in the registry
+    (span histograms are ``<span name>.seconds``).  Each of ``p50``,
+    ``p90``, ``p99``, ``mean`` and ``max`` is an optional upper bound
+    in the histogram's unit; at least one must be set::
+
+        SLO("serve.get.seconds", p99=0.050)     # p99 latency <= 50 ms
+
+    The objective is *violated* when the observed statistic exceeds its
+    bound, and has *no data* (neither met nor violated; reported as
+    ``"no_data"`` and not counted against ``ok``) when the histogram
+    has not been observed yet.
+    """
+
+    name: str
+    p50: "float | None" = None
+    p90: "float | None" = None
+    p99: "float | None" = None
+    mean: "float | None" = None
+    max: "float | None" = None
+
+    def __post_init__(self):
+        if not METRIC_NAME_RE.fullmatch(self.name):
+            raise ValueError(
+                f"SLO name {self.name!r} is not a valid dotted metric name"
+            )
+        if not self.objectives():
+            raise ValueError(
+                f"SLO {self.name!r} declares no objective; set at least one "
+                f"of {_OBJECTIVE_STATS}"
+            )
+        for stat, bound in self.objectives().items():
+            if not float(bound) > 0.0:
+                raise ValueError(
+                    f"SLO {self.name!r} {stat} bound must be positive, "
+                    f"got {bound!r}"
+                )
+
+    def objectives(self) -> dict:
+        """The declared bounds as ``{stat: bound}`` (set fields only)."""
+        return {
+            field.name: float(getattr(self, field.name))
+            for field in fields(self)
+            if field.name in _OBJECTIVE_STATS
+            and getattr(self, field.name) is not None
+        }
+
+
+#: The serving layer's default objectives, evaluated by
+#: ``EmulationService.slo_report()``: hot-path field gets under 50 ms
+#: at the 99th percentile.
+DEFAULT_SERVING_SLOS = (SLO("serve.get.seconds", p99=0.050),)
+
+
+def evaluate_slos(
+    slos,
+    *,
+    snapshot: "dict | None" = None,
+    registry: "MetricsRegistry | None" = None,
+) -> dict:
+    """Evaluate objectives against a registry snapshot.
+
+    Parameters
+    ----------
+    slos:
+        Iterable of :class:`SLO` objectives.
+    snapshot:
+        A :meth:`~repro.obs.MetricsRegistry.snapshot` dict to evaluate
+        against.  Taken from ``registry`` when omitted.
+    registry:
+        Registry to snapshot when ``snapshot`` is not given (the
+        process-wide registry by default).  Span histograms live in the
+        *global* registry, so serving-latency SLOs evaluate there even
+        for services with their own instance registry.
+
+    Returns
+    -------
+    dict
+        ``{"ok": bool, "violations": [str, ...], "slos": [entry, ...]}``
+        where each entry is ``{"name", "status", "objectives"}`` with
+        ``status`` one of ``"ok"``, ``"violated"`` or ``"no_data"`` and
+        ``objectives`` mapping each declared stat to
+        ``{"target", "observed", "ok"}`` (``observed`` is ``None`` and
+        ``ok`` is ``True`` when the histogram has no data).
+    """
+    if snapshot is None:
+        snapshot = (get_registry() if registry is None else registry).snapshot()
+    histograms = snapshot.get("histograms", {})
+
+    entries = []
+    violations = []
+    for slo in slos:
+        summary = histograms.get(slo.name)
+        objectives = {}
+        violated = False
+        for stat, target in sorted(slo.objectives().items()):
+            observed = None if summary is None else summary.get(stat)
+            met = observed is None or float(observed) <= target
+            objectives[stat] = {
+                "target": target,
+                "observed": None if observed is None else float(observed),
+                "ok": met,
+            }
+            if not met:
+                violated = True
+                violations.append(
+                    f"{slo.name} {stat} {float(observed):.6g} "
+                    f"exceeds target {target:.6g}"
+                )
+        if summary is None:
+            status = "no_data"
+        elif violated:
+            status = "violated"
+        else:
+            status = "ok"
+        entries.append({"name": slo.name, "status": status, "objectives": objectives})
+
+    return {"ok": not violations, "violations": violations, "slos": entries}

@@ -52,7 +52,7 @@ from functools import partial
 import numpy as np
 
 from repro.api.facade import _resolve as _resolve_emulator
-from repro.obs import counter_add, span
+from repro.obs import counter_add, gauge_set, span
 from repro.scenarios.registry import resolve_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.serving.request import FieldRequest, chunk_address
@@ -794,6 +794,54 @@ def iter_chunk_arrays(manifest, *, store=None):
         yield run, np.asarray(member, dtype=np.float32)
 
 
+class _Heartbeat:
+    """Structured campaign progress: live gauges plus an optional callback.
+
+    Long campaigns were only observable post-hoc through the manifest's
+    ``timing`` block; the heartbeat publishes progress *while* the
+    campaign runs, after every completed execution block, as gauges on
+    the process-wide registry (and so onto any live ``/metrics``
+    endpoint): ``campaign.progress.runs_done`` / ``runs_total`` /
+    ``runs_per_second`` / ``eta_seconds``.
+
+    Updates happen only on the coordinating thread (workers hand
+    finished blocks back through the in-order ``pool.map`` iterable),
+    so the counter needs no lock; timing reads the open
+    ``campaign.total`` span's clock, so the heartbeat adds no timer of
+    its own and stays inside the telemetry layer's hygiene contract.
+    """
+
+    def __init__(self, n_runs: int, clock_span, callback=None):
+        self._n_runs = int(n_runs)
+        self._clock = clock_span
+        self._callback = callback
+        self._done = 0
+        self._publish()
+
+    def update(self, n_completed: int) -> None:
+        """Record ``n_completed`` more finished runs and re-publish."""
+        self._done += int(n_completed)
+        self._publish()
+
+    def _publish(self) -> None:
+        elapsed = float(self._clock.elapsed())
+        rate = self._done / elapsed if elapsed > 0.0 else 0.0
+        eta = (self._n_runs - self._done) / rate if rate > 0.0 else None
+        gauge_set("campaign.progress.runs_done", float(self._done))
+        gauge_set("campaign.progress.runs_total", float(self._n_runs))
+        gauge_set("campaign.progress.runs_per_second", rate)
+        if eta is not None:
+            gauge_set("campaign.progress.eta_seconds", eta)
+        if self._callback is not None:
+            self._callback({
+                "runs_done": self._done,
+                "runs_total": self._n_runs,
+                "elapsed_seconds": elapsed,
+                "runs_per_second": rate,
+                "eta_seconds": eta,
+            })
+
+
 def run_campaign(
     source,
     scenarios,
@@ -810,6 +858,7 @@ def run_campaign(
     output_dir: "str | os.PathLike | None" = None,
     start_level: float = 2.5,
     store: "ChunkStore | str | os.PathLike | None" = None,
+    progress=None,
 ) -> CampaignManifest:
     """Replay a fitted emulator across ``scenarios x realizations`` runs.
 
@@ -893,6 +942,18 @@ def run_campaign(
         re-run campaign finds its addresses already stored and skips
         them).  The full float64 data is stored; ``output_dir`` NPZ
         shards (float32) can be written alongside.
+    progress:
+        Optional callback for the structured progress heartbeat.  After
+        every completed execution block (and once at start) the campaign
+        publishes ``campaign.progress.runs_done`` / ``runs_total`` /
+        ``runs_per_second`` / ``eta_seconds`` gauges to the process-wide
+        registry — visible live on a
+        :func:`repro.obs.start_metrics_server` endpoint — and, when
+        given, calls ``progress(info)`` from the coordinating thread
+        with ``info = {"runs_done", "runs_total", "elapsed_seconds",
+        "runs_per_second", "eta_seconds"}`` (``eta_seconds`` is ``None``
+        until a rate exists).  The heartbeat never touches run output:
+        results stay bit-identical with or without it.
 
     Returns
     -------
@@ -970,14 +1031,20 @@ def run_campaign(
         max_workers=workers,
     )
     with total_span:
+        heartbeat = _Heartbeat(len(plans), total_span, progress)
+        records = []
+        # Every executor hands back an in-order lazy iterable of
+        # per-block record lists, so the coordinating thread drains it
+        # block by block and beats the progress heartbeat as each block
+        # lands — identical records, now observable mid-flight.
         if workers == 1:
-            records = [
-                rec
+            batched = (
+                _execute_batch(emulator, block, parent=total_span, store=store_obj)
                 for block in blocks
-                for rec in _execute_batch(
-                    emulator, block, parent=total_span, store=store_obj
-                )
-            ]
+            )
+            for block_records in batched:
+                records.extend(block_records)
+                heartbeat.update(len(block_records))
         elif executor == "thread":
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 batched = pool.map(
@@ -987,7 +1054,9 @@ def run_campaign(
                     ),
                     blocks,
                 )
-                records = [rec for block_records in batched for rec in block_records]
+                for block_records in batched:
+                    records.extend(block_records)
+                    heartbeat.update(len(block_records))
         else:
             with contextlib.ExitStack() as stack:
                 worker_source = source
@@ -1005,7 +1074,9 @@ def run_campaign(
                 batched = pool.map(
                     partial(_execute_batch_in_process, source=worker_source), blocks
                 )
-                records = [rec for block_records in batched for rec in block_records]
+                for block_records in batched:
+                    records.extend(block_records)
+                    heartbeat.update(len(block_records))
         if store_obj is not None:
             # Process workers commit through their own handles; one
             # refresh makes their entries visible on the caller's.

@@ -534,6 +534,48 @@ class TestTelemetryHygiene:
         assert lint_source(source, "benchmarks/bench_example.py",
                            rules=["telemetry-hygiene"]) == []
 
+    def test_raw_resource_probe_fires_outside_the_layer(self):
+        source = """
+            import os
+            import resource
+
+            def watch():
+                rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                load = os.getloadavg()
+                cpu = os.times()
+                return rss, load, cpu
+        """
+        findings = run(source, rules=["telemetry-hygiene"])
+        assert rule_ids(findings) == ["telemetry-hygiene"] * 3
+        assert all("probes process resources" in f.message for f in findings)
+        assert all("ResourceSampler" in f.message for f in findings)
+
+    def test_operational_obs_modules_are_inside_the_layer(self):
+        # The exporter/sampler/SLO modules are the telemetry layer too:
+        # raw timers and resource probes are their implementation.
+        source = """
+            import resource
+            import time
+
+            def sample():
+                t = time.perf_counter()
+                rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                return t, rss
+        """
+        for relpath in ("src/repro/obs/sampler.py", "src/repro/obs/export.py",
+                        "src/repro/obs/slo.py"):
+            assert lint_source(textwrap.dedent(source), relpath,
+                               rules=["telemetry-hygiene"]) == [], relpath
+
+    def test_resource_probe_outside_obs_in_src_fires(self):
+        source = "import resource\nr = resource.getrusage(0)\n"
+        findings = lint_source(source, "src/repro/serving/service.py",
+                               rules=["telemetry-hygiene"])
+        assert rule_ids(findings) == ["telemetry-hygiene"]
+        # ...but the same probe outside src/repro is not this rule's job.
+        assert lint_source(source, "tools/watcher.py",
+                           rules=["telemetry-hygiene"]) == []
+
     @pytest.mark.parametrize(
         "stmt",
         [

@@ -1,0 +1,336 @@
+"""Prometheus/JSON export: rendering, format spec, the live endpoint."""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.error
+from pathlib import Path
+from urllib.request import urlopen
+
+import pytest
+
+import repro
+from repro.obs import (
+    SLO,
+    MetricsRegistry,
+    clear_readiness,
+    components_ready,
+    evaluate_slos,
+    mark_ready,
+    readiness,
+    render_json,
+    render_prometheus,
+    start_metrics_server,
+)
+from repro.serving.request import FieldRequest
+from repro.serving.service import EmulationService
+
+GOLDEN = Path(__file__).parent / "data" / "golden_exposition.txt"
+
+#: One exposition sample line: name, optional label set, value.
+#: Mirrors the 0.0.4 text-format grammar (metric names ``[a-zA-Z_:]``
+#: then ``[a-zA-Z0-9_:]*``; label values with backslash escapes; values
+#: as floats or +Inf/-Inf/NaN).
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*")*\})?'
+    r' (?P<value>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\+Inf|-Inf|NaN)$'
+)
+
+_VALID_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_exposition(text: str):
+    """Validate exposition text line-by-line against the format spec.
+
+    Returns ``(types, samples)``: the ``# TYPE`` map and the list of
+    ``(name, labels, value)`` sample tuples.  Asserts the grammar on
+    every line: comments are well-formed HELP/TYPE, samples match the
+    sample grammar, every sample's base series has a declared type, and
+    TYPE precedes the samples it covers.
+    """
+    types: dict = {}
+    helps: dict = {}
+    samples = []
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name, _, doc = line[len("# HELP "):].partition(" ")
+            assert name not in helps, f"duplicate HELP for {name}"
+            assert "\n" not in doc
+            helps[name] = doc
+        elif line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            assert kind in _VALID_TYPES, f"invalid TYPE {kind!r} for {name}"
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+        else:
+            assert not line.startswith("#"), f"unknown comment: {line!r}"
+            match = _SAMPLE_RE.match(line)
+            assert match, f"malformed sample line: {line!r}"
+            name = match.group("name")
+            base = re.sub(r"_(sum|count)$", "", name)
+            assert name in types or base in types, f"sample {name} has no TYPE"
+            samples.append((name, match.group("labels"), match.group("value")))
+    return types, samples
+
+
+@pytest.fixture()
+def clean_readiness():
+    clear_readiness()
+    yield
+    clear_readiness()
+
+
+def _registry_with_everything() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.add("sht.plan_cache.hits", 42)
+    registry.add("campaign.store.chunks", 7)
+    registry.set_gauge("resource.rss_bytes", 1048576.0)
+    registry.set_gauge("campaign.progress.runs_done", 3.0)
+    for value in (0.001, 0.002, 0.004, 0.008):
+        registry.observe("serve.get.seconds", value)
+    return registry
+
+
+class TestNameMangling:
+    def test_dotted_names_become_underscored(self):
+        text = render_prometheus(
+            {"counters": {"sht.plan_cache.hits": 1.0}, "gauges": {}, "histograms": {}}
+        )
+        assert "sht_plan_cache_hits 1.0" in text
+        assert "sht.plan_cache.hits" not in text.splitlines()[-2]
+
+    def test_original_name_survives_in_help(self):
+        text = render_prometheus(
+            {"counters": {"sht.plan_cache.hits": 1.0}, "gauges": {}, "histograms": {}}
+        )
+        assert "# HELP sht_plan_cache_hits repro counter sht.plan_cache.hits" in text
+
+    def test_arbitrary_characters_are_mangled(self):
+        text = render_prometheus(
+            {"counters": {"weird-name with spaces": 1.0}, "gauges": {}, "histograms": {}}
+        )
+        assert "weird_name_with_spaces 1.0" in text
+
+    def test_leading_digit_gets_underscore_prefix(self):
+        text = render_prometheus(
+            {"counters": {"9lives": 1.0}, "gauges": {}, "histograms": {}}
+        )
+        assert "_9lives 1.0" in text
+        parse_exposition(text)
+
+
+class TestEscaping:
+    def test_help_escapes_backslash_and_newline(self):
+        text = render_prometheus(
+            {"counters": {"a\\b\nc.x": 1.0}, "gauges": {}, "histograms": {}}
+        )
+        help_line = next(line for line in text.splitlines() if "HELP" in line)
+        assert "\\\\" in help_line
+        assert "\\n" in help_line
+        assert "\n" not in help_line
+
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        report = {
+            "ok": True,
+            "violations": [],
+            "slos": [{
+                "name": 'nasty"value\\with\nall',
+                "status": "ok",
+                "objectives": {
+                    "p99": {"target": 1.0, "observed": 0.5, "ok": True}
+                },
+            }],
+        }
+        text = render_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}}, slo_report=report
+        )
+        line = next(l for l in text.splitlines() if l.startswith("slo_ok{"))
+        assert '\\"' in line
+        assert "\\\\" in line
+        assert "\\n" in line
+        parse_exposition(text)
+
+
+class TestValueFormatting:
+    def test_non_finite_values_use_spec_spellings(self):
+        snapshot = {
+            "counters": {},
+            "gauges": {
+                "test.pos": float("inf"),
+                "test.neg": float("-inf"),
+                "test.nan": float("nan"),
+            },
+            "histograms": {},
+        }
+        text = render_prometheus(snapshot)
+        assert "test_pos +Inf" in text
+        assert "test_neg -Inf" in text
+        assert "test_nan NaN" in text
+        parse_exposition(text)
+
+
+class TestHistogramRendering:
+    def test_quantiles_sum_count(self):
+        registry = _registry_with_everything()
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE serve_get_seconds summary" in text
+        assert 'serve_get_seconds{quantile="0.5"} 0.004' in text
+        assert 'serve_get_seconds{quantile="0.9"} 0.008' in text
+        assert 'serve_get_seconds{quantile="0.99"} 0.008' in text
+        assert "serve_get_seconds_sum 0.015" in text
+        assert "serve_get_seconds_count 4.0" in text
+
+
+class TestGoldenExposition:
+    def test_render_matches_golden_file(self):
+        registry = _registry_with_everything()
+        snapshot = registry.snapshot()
+        report = evaluate_slos(
+            [SLO("serve.get.seconds", p99=0.05)], snapshot=snapshot
+        )
+        assert render_prometheus(snapshot, slo_report=report) == GOLDEN.read_text()
+
+    def test_golden_file_parses_against_format_spec(self):
+        types, samples = parse_exposition(GOLDEN.read_text())
+        assert types["sht_plan_cache_hits"] == "counter"
+        assert types["resource_rss_bytes"] == "gauge"
+        assert types["serve_get_seconds"] == "summary"
+        assert types["slo_ok"] == "gauge"
+        names = [name for name, _, _ in samples]
+        assert "serve_get_seconds_sum" in names
+        assert "serve_get_seconds_count" in names
+        labelled = [
+            labels for name, labels, _ in samples if name == "serve_get_seconds"
+        ]
+        assert '{quantile="0.5"}' in labelled
+
+
+class TestRenderJson:
+    def test_round_trips_snapshot_and_slo(self):
+        registry = _registry_with_everything()
+        snapshot = registry.snapshot()
+        report = evaluate_slos([SLO("serve.get.seconds", p99=0.05)], snapshot=snapshot)
+        document = json.loads(render_json(snapshot, slo_report=report))
+        assert document["metrics"] == snapshot
+        assert document["slo"]["ok"] is True
+
+    def test_omits_slo_block_when_absent(self):
+        document = json.loads(
+            render_json({"counters": {}, "gauges": {}, "histograms": {}})
+        )
+        assert "slo" not in document
+
+
+class TestReadiness:
+    def test_empty_registry_is_not_ready(self, clean_readiness):
+        assert not components_ready()
+        assert readiness() == {}
+
+    def test_mark_and_withdraw(self, clean_readiness):
+        mark_ready("serving")
+        assert components_ready()
+        mark_ready("store", ready=False)
+        assert not components_ready()
+        assert readiness() == {"serving": True, "store": False}
+        mark_ready("store")
+        assert components_ready()
+
+    def test_service_construction_marks_serving_ready(
+        self, fitted_emulator, clean_readiness
+    ):
+        assert not components_ready()
+        EmulationService(fitted_emulator, seed=3)
+        assert readiness().get("serving") is True
+        assert components_ready()
+
+
+class TestMetricsServer:
+    def test_serves_prometheus_on_ephemeral_port(self):
+        registry = _registry_with_everything()
+        with start_metrics_server(registry=registry) as server:
+            assert server.port > 0
+            with urlopen(f"{server.url}/metrics") as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == "text/plain; version=0.0.4"
+                body = response.read().decode("utf-8")
+        types, _ = parse_exposition(body)
+        assert types["sht_plan_cache_hits"] == "counter"
+
+    def test_serves_json_view(self):
+        registry = _registry_with_everything()
+        with start_metrics_server(
+            registry=registry, slos=(SLO("serve.get.seconds", p99=0.05),)
+        ) as server:
+            with urlopen(f"{server.url}/metrics.json") as response:
+                document = json.loads(response.read())
+        assert document["metrics"]["counters"]["sht.plan_cache.hits"] == 42.0
+        assert document["slo"]["ok"] is True
+
+    def test_healthz_always_200(self):
+        with start_metrics_server(registry=MetricsRegistry()) as server:
+            with urlopen(f"{server.url}/healthz") as response:
+                assert response.status == 200
+
+    def test_readyz_transitions_with_components(self, clean_readiness):
+        with start_metrics_server(registry=MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urlopen(f"{server.url}/readyz")
+            excinfo.value.close()
+            assert excinfo.value.code == 503
+            mark_ready("serving")
+            with urlopen(f"{server.url}/readyz") as response:
+                assert response.status == 200
+                assert json.loads(response.read())["components"] == {"serving": True}
+
+    def test_unknown_path_is_404(self):
+        with start_metrics_server(registry=MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urlopen(f"{server.url}/nope")
+            excinfo.value.close()
+            assert excinfo.value.code == 404
+
+    def test_scrapes_are_read_only(self):
+        registry = _registry_with_everything()
+        before = registry.snapshot()
+        with start_metrics_server(
+            registry=registry, slos=(SLO("serve.get.seconds", p99=0.05),)
+        ) as server:
+            for _ in range(3):
+                with urlopen(f"{server.url}/metrics") as response:
+                    response.read()
+        assert registry.snapshot() == before
+
+
+class TestLiveCampaignServing:
+    def test_live_endpoint_during_campaign_and_serving(
+        self, fitted_emulator, clean_readiness
+    ):
+        """The acceptance scenario: during a campaign + serving run the
+        live ``/metrics`` serves spec-valid exposition with sampler
+        gauges and SLO status present."""
+        from repro.obs import ResourceSampler
+
+        service = EmulationService(fitted_emulator, seed=11)
+        service.get(FieldRequest(scenario="historical", realization=0,
+                                 year_start=0, year_stop=1))
+        with start_metrics_server(
+            slos=(SLO("serve.get.seconds", p99=1e9),)
+        ) as server, ResourceSampler(interval_seconds=60.0, service=service):
+            repro.run_campaign(fitted_emulator, ["historical"], 2, n_times=24, seed=11)
+            with urlopen(f"{server.url}/metrics") as response:
+                body = response.read().decode("utf-8")
+            with urlopen(f"{server.url}/readyz") as response:
+                assert response.status == 200
+        types, samples = parse_exposition(body)
+        names = {name for name, _, _ in samples}
+        assert "resource_rss_bytes" in names
+        assert "resource_threads" in names
+        assert "campaign_progress_runs_done" in names
+        assert "slo_ok" in names
+        assert types["serve_get_seconds"] == "summary"

@@ -1,0 +1,115 @@
+"""ResourceSampler: gauges, lifecycle, service/store attachment."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, ResourceSampler
+from repro.serving.service import EmulationService
+from repro.storage.chunkstore import ChunkStore
+
+
+class TestSampleOnce:
+    def test_publishes_process_gauges(self):
+        registry = MetricsRegistry()
+        values = ResourceSampler(registry=registry).sample_once()
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["resource.pid"] == float(os.getpid())
+        assert gauges["resource.rss_bytes"] > 0
+        assert gauges["resource.threads"] >= 1
+        assert gauges["resource.plan_cache_bytes"] >= 0
+        assert values["resource.rss_bytes"] == gauges["resource.rss_bytes"]
+        # /proc is available on the platforms the suite runs on
+        assert gauges.get("resource.open_fds", 1) >= 1
+
+    def test_counts_samples(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry=registry)
+        sampler.sample_once()
+        sampler.sample_once()
+        assert registry.counter("resource.samples") == 2.0
+
+    def test_service_attachment_adds_cache_gauges(self, fitted_emulator):
+        registry = MetricsRegistry()
+        service = EmulationService(fitted_emulator, seed=7)
+        values = ResourceSampler(registry=registry, service=service).sample_once()
+        assert "resource.chunk_cache_bytes" in values
+        assert values["resource.chunk_cache_bytes"] >= 0
+
+    def test_store_attachment_adds_footprint_gauges(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ChunkStore(tmp_path / "store")
+        values = ResourceSampler(registry=registry, store=store).sample_once()
+        assert values["resource.store_chunks"] == 0.0
+        assert values["resource.store_bytes"] == 0.0
+
+    def test_store_backed_service_is_sampled_through_its_store(
+        self, fitted_emulator, tmp_path
+    ):
+        registry = MetricsRegistry()
+        store = ChunkStore(tmp_path / "store")
+        service = EmulationService(fitted_emulator, seed=7, store=store)
+        values = ResourceSampler(registry=registry, service=service).sample_once()
+        assert "resource.store_chunks" in values
+
+
+class TestLifecycle:
+    def test_start_samples_immediately(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(interval_seconds=3600.0, registry=registry)
+        try:
+            sampler.start()
+            # No interval has elapsed, yet the gauges already exist.
+            assert registry.counter("resource.samples") == 1.0
+            assert sampler.running
+        finally:
+            sampler.stop()
+        assert not sampler.running
+
+    def test_interval_thread_keeps_sampling(self):
+        registry = MetricsRegistry()
+        with ResourceSampler(interval_seconds=0.01, registry=registry):
+            deadline = threading.Event()
+            for _ in range(200):
+                if registry.counter("resource.samples") >= 3.0:
+                    break
+                deadline.wait(0.01)
+        assert registry.counter("resource.samples") >= 3.0
+
+    def test_start_stop_idempotent(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(interval_seconds=3600.0, registry=registry)
+        assert sampler.start() is sampler.start()
+        assert registry.counter("resource.samples") == 1.0
+        sampler.stop()
+        sampler.stop()
+        assert not sampler.running
+
+    def test_restart_after_stop(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(interval_seconds=3600.0, registry=registry)
+        sampler.start()
+        sampler.stop()
+        sampler.start()
+        try:
+            assert sampler.running
+            assert registry.counter("resource.samples") == 2.0
+        finally:
+            sampler.stop()
+
+    def test_thread_is_daemon(self):
+        sampler = ResourceSampler(interval_seconds=3600.0, registry=MetricsRegistry())
+        sampler.start()
+        try:
+            assert sampler._thread.daemon
+        finally:
+            sampler.stop()
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="positive"):
+            ResourceSampler(0.0)
+        with pytest.raises(ValueError, match="positive"):
+            ResourceSampler(-1.0)

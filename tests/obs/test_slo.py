@@ -1,0 +1,133 @@
+"""SLO declaration and evaluation, plus EmulationService.slo_report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SERVING_SLOS,
+    SLO,
+    MetricsRegistry,
+    evaluate_slos,
+)
+from repro.serving.request import FieldRequest
+from repro.serving.service import EmulationService
+
+
+class TestDeclaration:
+    def test_requires_at_least_one_objective(self):
+        with pytest.raises(ValueError, match="no objective"):
+            SLO("serve.get.seconds")
+
+    def test_rejects_malformed_names(self):
+        with pytest.raises(ValueError, match="dotted"):
+            SLO("NotDotted", p99=1.0)
+
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError, match="positive"):
+            SLO("serve.get.seconds", p99=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            SLO("serve.get.seconds", mean=-1.0)
+
+    def test_objectives_lists_set_fields_only(self):
+        slo = SLO("serve.get.seconds", p50=0.01, p99=0.05)
+        assert slo.objectives() == {"p50": 0.01, "p99": 0.05}
+
+    def test_frozen(self):
+        slo = SLO("serve.get.seconds", p99=0.05)
+        with pytest.raises(AttributeError):
+            slo.p99 = 0.1
+
+
+class TestEvaluation:
+    def _registry(self, *values):
+        registry = MetricsRegistry()
+        for value in values:
+            registry.observe("serve.get.seconds", value)
+        return registry
+
+    def test_met_objective(self):
+        registry = self._registry(0.001, 0.002, 0.003)
+        report = evaluate_slos(
+            [SLO("serve.get.seconds", p99=0.05)], registry=registry
+        )
+        assert report["ok"] is True
+        assert report["violations"] == []
+        (entry,) = report["slos"]
+        assert entry["status"] == "ok"
+        assert entry["objectives"]["p99"]["observed"] == 0.003
+
+    def test_violated_objective_names_metric_and_values(self):
+        registry = self._registry(0.2)
+        report = evaluate_slos(
+            [SLO("serve.get.seconds", p99=0.05)], registry=registry
+        )
+        assert report["ok"] is False
+        (violation,) = report["violations"]
+        assert "serve.get.seconds" in violation
+        assert "p99" in violation
+        (entry,) = report["slos"]
+        assert entry["status"] == "violated"
+        assert entry["objectives"]["p99"]["ok"] is False
+
+    def test_no_data_is_not_a_violation(self):
+        report = evaluate_slos(
+            [SLO("serve.get.seconds", p99=0.05)], registry=MetricsRegistry()
+        )
+        assert report["ok"] is True
+        (entry,) = report["slos"]
+        assert entry["status"] == "no_data"
+        assert entry["objectives"]["p99"]["observed"] is None
+
+    def test_multiple_objectives_evaluated_independently(self):
+        registry = self._registry(0.01, 0.01, 0.04)
+        report = evaluate_slos(
+            [SLO("serve.get.seconds", p50=0.02, max=0.02)], registry=registry
+        )
+        (entry,) = report["slos"]
+        assert entry["objectives"]["p50"]["ok"] is True
+        assert entry["objectives"]["max"]["ok"] is False
+        assert entry["status"] == "violated"
+
+    def test_explicit_snapshot_wins_over_registry(self):
+        snapshot = {
+            "counters": {}, "gauges": {},
+            "histograms": {"serve.get.seconds": {
+                "count": 1, "sum": 1.0, "min": 1.0, "max": 1.0,
+                "mean": 1.0, "p50": 1.0, "p90": 1.0, "p99": 1.0,
+            }},
+        }
+        report = evaluate_slos(
+            [SLO("serve.get.seconds", p99=0.05)], snapshot=snapshot
+        )
+        assert report["ok"] is False
+
+    def test_evaluation_is_read_only(self):
+        registry = self._registry(0.01)
+        before = registry.snapshot()
+        evaluate_slos([SLO("serve.get.seconds", p99=0.05)], registry=registry)
+        assert registry.snapshot() == before
+
+
+class TestServiceReport:
+    def test_default_serving_slos(self, fitted_emulator):
+        service = EmulationService(fitted_emulator, seed=13)
+        service.get(FieldRequest(scenario="historical", realization=0,
+                                 year_start=0, year_stop=1))
+        report = service.slo_report()
+        names = [entry["name"] for entry in report["slos"]]
+        assert names == [slo.name for slo in DEFAULT_SERVING_SLOS]
+        # The span histogram exists, so the objective is evaluated
+        # against real data (ok or violated, never no_data).
+        (entry,) = report["slos"]
+        assert entry["status"] in ("ok", "violated")
+
+    def test_custom_slos_deterministic_outcomes(self, fitted_emulator):
+        service = EmulationService(fitted_emulator, seed=13)
+        service.get(FieldRequest(scenario="historical", realization=0,
+                                 year_start=0, year_stop=1))
+        generous = service.slo_report([SLO("serve.get.seconds", p99=1e9)])
+        assert generous["ok"] is True
+        tight = service.slo_report([SLO("serve.get.seconds", p99=1e-12)])
+        assert tight["ok"] is False
+        assert "serve.get.seconds" in tight["violations"][0]

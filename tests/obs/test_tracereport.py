@@ -104,6 +104,35 @@ class TestLoadTrace:
         base.write_text("\n" + json.dumps(_record("only", 1, None, 1.0)) + "\n\n")
         assert len(load_trace(base)) == 1
 
+    def test_tolerates_torn_trailing_line(self, tmp_path):
+        # A campaign worker killed mid-write leaves a truncated last
+        # record; the report must keep the intact spans and count the
+        # skip instead of crashing.
+        base = tmp_path / "trace.jsonl"
+        intact = json.dumps(_record("kept", 1, None, 1.0))
+        torn = json.dumps(_record("torn", 2, 1, 0.5))[:-17]
+        base.write_text(intact + "\n" + torn + "\n")
+        records = load_trace(base)
+        assert [rec["name"] for rec in records] == ["kept"]
+        assert records.skipped == 1
+
+    def test_counts_torn_lines_across_siblings(self, tmp_path):
+        base = tmp_path / "trace.jsonl"
+        base.write_text(json.dumps(_record("main", 1, None, 1.0)) + "\n{tor")
+        (tmp_path / "trace.jsonl.77").write_text(
+            json.dumps(_record("worker", 1, None, 0.5, pid=77)) + "\n[1, 2"
+        )
+        records = load_trace(base)
+        assert sorted(rec["name"] for rec in records) == ["main", "worker"]
+        assert records.skipped == 2
+
+    def test_non_object_json_line_is_skipped(self, tmp_path):
+        base = tmp_path / "trace.jsonl"
+        base.write_text('"just a string"\n' + json.dumps(_record("ok", 1, None, 1.0)) + "\n")
+        records = load_trace(base)
+        assert [rec["name"] for rec in records] == ["ok"]
+        assert records.skipped == 1
+
 
 class TestRendering:
     def test_table_has_header_rule_and_aligned_names(self):
@@ -130,6 +159,22 @@ class TestRendering:
         trace.write_text("")
         assert main([str(trace)]) == 1
         assert "no span records" in capsys.readouterr().err
+
+    def test_main_reports_skipped_corrupt_lines(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(json.dumps(_record("solo", 1, None, 1.0)) + '\n{"torn": ')
+        assert main([str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 corrupt line(s)" in captured.err
+        assert "1 corrupt skipped" in captured.out
+
+    def test_main_json_mode_carries_skip_count(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(json.dumps(_record("solo", 1, None, 1.0)) + "\n{bad")
+        assert main([str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] == 1
+        assert payload["skipped"] == 1
 
 
 class TestLayerCoverage:

@@ -382,6 +382,54 @@ class TestStorageReport:
         assert campaign_storage_report(serial_manifest.to_dict()) == report
 
 
+class TestProgressHeartbeat:
+    def test_callback_sees_monotonic_progress_to_completion(
+        self, fitted_emulator
+    ):
+        beats = []
+        manifest = run_campaign(fitted_emulator, ["ssp-low", "ssp-high"], 2,
+                                n_times=8, seed=3, progress=beats.append)
+        # One beat at start (0 done) plus one per completed block.
+        assert beats[0]["runs_done"] == 0
+        assert beats[-1]["runs_done"] == manifest.n_runs == 4
+        done = [beat["runs_done"] for beat in beats]
+        assert done == sorted(done)
+        for beat in beats:
+            assert beat["runs_total"] == 4
+            assert set(beat) == {
+                "runs_done", "runs_total", "elapsed_seconds",
+                "runs_per_second", "eta_seconds",
+            }
+        assert beats[0]["eta_seconds"] is None
+        assert beats[-1]["eta_seconds"] == pytest.approx(0.0)
+        assert beats[-1]["runs_per_second"] > 0
+
+    def test_heartbeat_beats_per_batched_block(self, fitted_emulator):
+        beats = []
+        run_campaign(fitted_emulator, ["ssp-low"], 4, n_times=8, seed=3,
+                     batch_size=2, progress=beats.append)
+        assert [beat["runs_done"] for beat in beats] == [0, 2, 4]
+
+    def test_gauges_published_without_callback(self, fitted_emulator):
+        from repro.obs import metrics_snapshot
+
+        manifest = run_campaign(fitted_emulator, ["ssp-low"], 2, n_times=8,
+                                seed=3)
+        gauges = metrics_snapshot()["gauges"]
+        assert gauges["campaign.progress.runs_done"] == float(manifest.n_runs)
+        assert gauges["campaign.progress.runs_total"] == float(manifest.n_runs)
+        assert gauges["campaign.progress.runs_per_second"] > 0
+        assert gauges["campaign.progress.eta_seconds"] == pytest.approx(0.0)
+
+    def test_heartbeat_works_across_executors(self, fitted_emulator):
+        for kwargs in ({"max_workers": 2},
+                       {"max_workers": 2, "executor": "thread"}):
+            beats = []
+            run_campaign(fitted_emulator, ["ssp-low"], 2, n_times=8, seed=3,
+                         progress=beats.append, **kwargs)
+            assert beats[-1]["runs_done"] == 2
+
+
 class TestFacade:
     def test_exported_from_repro(self):
         assert repro.run_campaign is run_campaign

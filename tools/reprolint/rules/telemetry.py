@@ -4,13 +4,18 @@ The observability layer only stays trustworthy if it is the *single*
 timing surface inside ``src/repro`` and its instrument namespace stays
 machine-comparable.  Two properties, both statically checkable:
 
-* **no ad-hoc timers** — ``time.perf_counter``/``monotonic``/
-  ``process_time`` calls inside ``src/repro`` (outside ``repro/obs``
-  itself) mean a hot path is being timed outside the span layer, so the
-  measurement never reaches traces, histograms or ``tracereport``.
-  Time the region with ``repro.obs.span`` instead (the span's
-  ``seconds``/``elapsed()`` replace the manual delta).  Legitimate
-  exceptions go through the pragma mechanism.
+* **no ad-hoc timers or resource probes** — ``time.perf_counter``/
+  ``monotonic``/``process_time`` calls inside ``src/repro`` (outside
+  ``repro/obs`` itself) mean a hot path is being timed outside the span
+  layer, so the measurement never reaches traces, histograms or
+  ``tracereport``.  Time the region with ``repro.obs.span`` instead
+  (the span's ``seconds``/``elapsed()`` replace the manual delta).
+  Likewise raw OS resource probes (``resource.getrusage``,
+  ``os.times``, ``os.getloadavg``) belong to
+  ``repro.obs.sampler.ResourceSampler``, which publishes them as
+  ``resource.*`` gauges — everything under ``src/repro/obs/`` (metrics,
+  tracing, export, sampler, slo) is *inside* the layer and exempt.
+  Legitimate exceptions go through the pragma mechanism.
 
 * **well-formed, collision-free instrument names** — every literal name
   handed to ``span(...)``, ``counter_add``/``gauge_set``/``observe`` or
@@ -43,6 +48,14 @@ _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 _TIMER_CALLS = {
     "time.perf_counter", "time.perf_counter_ns",
     "time.monotonic", "time.monotonic_ns", "time.process_time",
+}
+
+#: Raw OS resource probes.  Like the timers, these belong inside the
+#: telemetry layer: ``repro.obs.sampler`` publishes RSS/fd/thread
+#: gauges for the whole process, so an ad-hoc ``getrusage`` elsewhere
+#: in ``src/repro`` is a measurement that never reaches ``/metrics``.
+_RESOURCE_CALLS = {
+    "resource.getrusage", "os.times", "os.getloadavg",
 }
 
 #: Module-level helpers of ``repro.obs`` -> instrument kind.
@@ -145,6 +158,10 @@ class TelemetryHygieneRule(Rule):
         self, unit: ModuleUnit, ctx: ProjectContext
     ) -> Iterable[Finding]:
         findings: list[Finding] = []
+        # Everything under src/repro/obs/ *is* the telemetry layer —
+        # metrics/tracing and the operational half (export, sampler,
+        # slo) alike — so raw timers and OS resource probes are its
+        # implementation there and banned everywhere else.
         if not unit.relpath.startswith("src/repro/obs/"):
             for node in ast.walk(unit.tree):
                 if isinstance(node, ast.Call):
@@ -156,6 +173,18 @@ class TelemetryHygieneRule(Rule):
                                 f"`{callee}()` times a region outside the "
                                 f"telemetry layer, so the measurement never "
                                 f"reaches traces or histograms; {self.hint}",
+                            )
+                        )
+                    elif callee in _RESOURCE_CALLS:
+                        findings.append(
+                            unit.finding(
+                                self.id, node,
+                                f"`{callee}()` probes process resources "
+                                f"outside the telemetry layer, so the "
+                                f"measurement never reaches the resource.* "
+                                f"gauges or /metrics; publish it through "
+                                f"repro.obs.ResourceSampler instead; "
+                                f"{self.hint}",
                             )
                         )
         for name, kind, node in _instruments(unit):

@@ -28,26 +28,54 @@ import sys
 from collections import defaultdict
 from pathlib import Path
 
-__all__ = ["aggregate", "load_trace", "main", "render_table"]
+__all__ = ["TraceRecords", "aggregate", "load_trace", "main", "render_table"]
 
 _COLUMNS = ("calls", "total_s", "self_s", "mean_s", "p50_s", "p90_s", "p99_s", "max_s")
 _SORT_KEYS = {"self": "self_s", "total": "total_s", "calls": "calls", "name": "name"}
 
 
-def load_trace(path: "str | Path") -> list[dict]:
-    """Read span records from ``path`` and any ``<path>.<pid>`` siblings."""
+class TraceRecords(list):
+    """Span records plus how many corrupt lines were skipped reading them.
+
+    A plain ``list`` of record dicts (so every existing
+    ``aggregate(load_trace(...))`` caller keeps working) with a
+    ``skipped`` attribute counting undecodable JSONL lines.
+    """
+
+    def __init__(self, records=(), skipped: int = 0):
+        super().__init__(records)
+        self.skipped = int(skipped)
+
+
+def load_trace(path: "str | Path") -> TraceRecords:
+    """Read span records from ``path`` and any ``<path>.<pid>`` siblings.
+
+    A truncated or corrupt line — a campaign worker killed mid-write
+    leaves a torn trailing record — is skipped rather than crashing the
+    whole report; the returned list's ``skipped`` attribute counts the
+    drops and :func:`main` reports them.
+    """
     path = Path(path)
     siblings = sorted(
         sib for sib in path.parent.glob(path.name + ".*")
         if sib.suffix.lstrip(".").isdigit()
     )
-    records: list[dict] = []
+    records = TraceRecords()
     for source in [path, *siblings]:
         with open(source, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
-                if line:
-                    records.append(json.loads(line))
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    records.skipped += 1
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+                else:
+                    records.skipped += 1
     return records
 
 
@@ -133,6 +161,11 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     records = load_trace(args.trace)
+    skipped = getattr(records, "skipped", 0)
+    if skipped:
+        print(
+            f"{args.trace}: skipped {skipped} corrupt line(s)", file=sys.stderr
+        )
     if not records:
         print(f"{args.trace}: no span records", file=sys.stderr)
         return 1
@@ -144,9 +177,12 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.top > 0:
         rows = rows[: args.top]
     if args.as_json:
-        print(json.dumps({"spans": len(records), "rows": rows}, indent=2))
+        print(json.dumps(
+            {"spans": len(records), "skipped": skipped, "rows": rows}, indent=2
+        ))
     else:
-        print(f"{len(records)} spans, {len(rows)} names — {args.trace}")
+        torn = f", {skipped} corrupt skipped" if skipped else ""
+        print(f"{len(records)} spans, {len(rows)} names{torn} — {args.trace}")
         print(render_table(rows))
     return 0
 
