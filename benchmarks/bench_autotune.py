@@ -1,0 +1,122 @@
+"""Autotuned vs default campaign execution: bit-identical, not slower.
+
+``run_campaign(..., tune="auto")`` plans its execution knobs
+(``executor``, ``max_workers``, ``batch_size``) from the measured
+:class:`~repro.tuning.MachineProfile` and the campaign's
+``T_compute + T_comm + T_latency`` cost model.  Every knob the planner
+is allowed to move is bit-inert, so the contract this benchmark defends
+has two halves:
+
+* **Hard gate** — the tuned campaign's run records and collected outputs
+  are bit-identical to the default campaign's, on a 64-run campaign
+  (4 scenarios x 16 realizations).
+* **Soft gate** — the tuned campaign is at least as fast as the default
+  one (``speedup >= 1.0``).  Wall-clock ratios are inherently noisy on
+  shared runners, so ``REPRO_BENCH_SOFT=1`` downgrades a miss to a loud
+  warning; bit-exactness always asserts.
+
+The tuned run's chosen plan and its predicted-vs-actual seconds land in
+the JSON summary, so a regression report shows *what* the planner picked,
+not just that it got slower.
+
+Run as a script: ``PYTHONPATH=src python benchmarks/bench_autotune.py``.
+"""
+
+import time
+
+import numpy as np
+
+try:
+    from benchmarks._report import emit_summary, soft_gate, write_report
+except ImportError:  # run as a script with benchmarks/ as sys.path[0]
+    from _report import emit_summary, soft_gate, write_report
+
+SCENARIOS = ["ssp-low", "ssp-medium", "ssp-high", "overshoot"]
+N_REALIZATIONS = 16       # 4 scenarios x 16 realizations = 64 runs
+N_TIMES = 48
+SEED = 2024
+TARGET_SPEEDUP = 1.0      # tuned must not be slower than the default
+
+
+def _check_speedup(speedup: float) -> None:
+    soft_gate(
+        speedup >= TARGET_SPEEDUP,
+        f"tuned campaign only {speedup:.2f}x the default execution "
+        f"(target >= {TARGET_SPEEDUP}x)",
+    )
+
+
+def _fit_emulator():
+    import repro
+    from repro.data import Era5LikeConfig, Era5LikeGenerator
+
+    sims = Era5LikeGenerator(
+        Era5LikeConfig(lmax=16, n_years=3, steps_per_year=24, n_ensemble=2),
+        seed=7,
+    ).generate()
+    return repro.fit(sims, lmax=16, var_order=1, tile_size=32, n_harmonics=2)
+
+
+def run_benchmark() -> dict:
+    import repro
+    from repro.tuning import load_or_calibrate
+
+    emulator = _fit_emulator()
+
+    # Warm both fixed costs outside the timed region: the SHT plan cache
+    # (first campaign pays plan construction for everyone after it) and
+    # the machine profile (the first tune="auto" on a host pays one-off
+    # micro-calibration, then reads the cache).
+    load_or_calibrate(None)
+    repro.run_campaign(emulator, SCENARIOS[:1], 1, n_times=N_TIMES, seed=SEED)
+
+    t0 = time.perf_counter()
+    default = repro.run_campaign(
+        emulator, SCENARIOS, N_REALIZATIONS, n_times=N_TIMES, seed=SEED
+    )
+    t_default = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    tuned = repro.run_campaign(
+        emulator, SCENARIOS, N_REALIZATIONS, n_times=N_TIMES, seed=SEED,
+        tune="auto",
+    )
+    t_tuned = time.perf_counter() - t0
+
+    # Hard gate: tuning may only move bit-inert knobs, so every run
+    # record and every collected array must match the default campaign
+    # bit for bit.
+    identical = len(tuned.runs) == len(default.runs) and all(
+        a.to_dict() == b.to_dict() and np.array_equal(a.collected, b.collected)
+        for a, b in zip(default.runs, tuned.runs)
+    )
+
+    plan = dict(tuned.tuning or {})
+    return {
+        "campaign": {
+            "n_runs": len(tuned.runs),
+            "default_seconds": t_default,
+            "tuned_seconds": t_tuned,
+            "speedup": t_default / t_tuned,
+        },
+        "plan": plan,
+        "bit_identical": identical,
+    }
+
+
+def test_autotuned_campaign():
+    """Pytest entry point mirroring the script run."""
+    summary = run_benchmark()
+    emit_summary(summary)
+    assert summary["bit_identical"]
+    assert summary["campaign"]["n_runs"] >= 64
+    _check_speedup(summary["campaign"]["speedup"])
+
+
+if __name__ == "__main__":
+    summary = run_benchmark()
+    emit_summary(summary)
+    assert summary["bit_identical"], "tuned campaign diverged from default"
+    assert summary["campaign"]["n_runs"] >= 64
+    _check_speedup(summary["campaign"]["speedup"])
+    write_report("autotune", summary)

@@ -37,11 +37,11 @@ def test_table1_dp_hp_on_1024_nodes(benchmark):
             [
                 SYSTEMS[name].name,
                 SYSTEMS[name].node.gpu.name,
-                estimate.gpus,
+                estimate.workers,
                 f"{size/1e6:.2f}M",
                 f"{estimate.pflops:.1f}",
                 f"{paper_pf:.1f}",
-                f"{estimate.tflops_per_gpu:.1f}",
+                f"{estimate.tflops_per_worker:.1f}",
                 f"{paper_per_gpu:.1f}",
             ]
         )
@@ -51,7 +51,7 @@ def test_table1_dp_hp_on_1024_nodes(benchmark):
         rows,
     )
 
-    per_gpu = {name: est.tflops_per_gpu for name, est in results.items()}
+    per_gpu = {name: est.tflops_per_worker for name, est in results.items()}
     # Cross-system ordering and ratios from the paper.
     assert per_gpu["alps"] > per_gpu["leonardo"] > per_gpu["summit"]
     assert per_gpu["alps"] > per_gpu["frontier"] > per_gpu["summit"]
@@ -61,4 +61,4 @@ def test_table1_dp_hp_on_1024_nodes(benchmark):
     assert abs(per_gpu["leonardo"] - per_gpu["frontier"]) / per_gpu["frontier"] < 0.25
     # Absolute per-GPU rates land near Table I.
     for name, est in results.items():
-        assert est.tflops_per_gpu == pytest.approx(TABLE1[name][2], rel=0.3)
+        assert est.tflops_per_worker == pytest.approx(TABLE1[name][2], rel=0.3)

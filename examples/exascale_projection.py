@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.linalg.policies import VARIANTS
 from repro.systems import SYSTEMS, CholeskyPerformanceModel
 from repro.systems.catalog import PAPER_NODE_COUNTS
+from repro.tuning import scaling_efficiencies
 
 
 def table1() -> None:
@@ -22,8 +23,8 @@ def table1() -> None:
     sizes = {"frontier": 8_390_000, "alps": 10_490_000, "leonardo": 8_390_000, "summit": 6_290_000}
     for name, machine in SYSTEMS.items():
         estimate = CholeskyPerformanceModel(machine).estimate(sizes[name], 1024, "DP/HP")
-        print(f"{machine.name:10s} {machine.node.gpu.name:28s} {estimate.gpus:7d} "
-              f"{sizes[name]/1e6:7.2f}M {estimate.pflops:9.1f} {estimate.tflops_per_gpu:9.1f}")
+        print(f"{machine.name:10s} {machine.node.gpu.name:28s} {estimate.workers:7d} "
+              f"{sizes[name]/1e6:7.2f}M {estimate.pflops:9.1f} {estimate.tflops_per_worker:9.1f}")
 
 
 def largest_runs() -> None:
@@ -49,8 +50,8 @@ def summit_scaling() -> None:
     fixed = model.memory_bound_matrix_size(512)
     print(f"  {'variant':10s} {'weak: ' + str(weak_gpus):48s} strong ({fixed/1e6:.1f}M): {strong_gpus}")
     for variant in VARIANTS:
-        weak = model.weak_scaling(weak_gpus, variant).efficiencies()
-        strong = model.strong_scaling(fixed, strong_gpus, variant).efficiencies()
+        weak = scaling_efficiencies(model.weak_scaling(weak_gpus, variant))
+        strong = scaling_efficiencies(model.strong_scaling(fixed, strong_gpus, variant))
         weak_str = " ".join(f"{100*e:4.0f}%" for e in weak)
         strong_str = " ".join(f"{100*e:4.0f}%" for e in strong)
         print(f"  {variant:10s} {weak_str:48s} {strong_str}")

@@ -64,7 +64,7 @@ def main() -> None:
     model = CholeskyPerformanceModel(SUMMIT)
     for variant in VARIANTS:
         estimate = model.estimate(8_390_000, 2048, variant)
-        print(f"  {variant:10s} {estimate.time_s:8.0f} s   {estimate.pflops:7.1f} PFlop/s")
+        print(f"  {variant:10s} {estimate.total_s:8.0f} s   {estimate.pflops:7.1f} PFlop/s")
 
 
 if __name__ == "__main__":

@@ -17,11 +17,16 @@ Using Exascale Climate Emulators" (Abdulah et al., SC 2024):
   covariance and Cholesky factorisation, and emulation generation.
 * :mod:`repro.linalg` — tile-based mixed-precision dense linear algebra
   (DP / DP-SP / DP-SP-HP / DP-HP Cholesky variants).
-* :mod:`repro.runtime` — a PaRSEC-like task runtime: DAG construction,
-  schedulers, a discrete-event distributed-machine simulator, and a local
-  numerical executor.
+* :mod:`repro.runtime` — a PaRSEC-like task runtime: DAG construction
+  and analysis (critical path, parallelism profile), machine specs, and
+  a local numerical executor.
 * :mod:`repro.systems` — machine models of Frontier, Alps, Leonardo and
   Summit plus the performance model used by the benchmark harness.
+* :mod:`repro.tuning` — cost-model-driven autotuning: a measured
+  per-host :class:`MachineProfile` and the
+  ``T_compute + T_comm + T_latency`` planner behind
+  ``run_campaign(..., tune="auto")`` and ``serve(...,
+  cache_bytes="auto")`` (see :func:`calibrate_machine`).
 * :mod:`repro.data` — synthetic ERA5-like data generation, radiative
   forcing trajectories and ensembles.
 * :mod:`repro.scenarios` — the scenario engine: composable forcing
@@ -56,7 +61,7 @@ Quickstart
 ...     n_realizations=5, max_workers=4)
 """
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from repro import obs
 from repro.core.config import EmulatorConfig
@@ -88,6 +93,7 @@ from repro.storage.chunkstore import ChunkStore
 from repro.scenarios.campaign import CampaignManifest, iter_chunk_arrays, run_campaign
 from repro.serving.request import FieldRequest
 from repro.serving.service import EmulationService
+from repro.tuning import MachineProfile, TuningPlan, calibrate_machine
 
 __all__ = [
     "ArtifactError",
@@ -103,14 +109,17 @@ __all__ = [
     "Era5LikeConfig",
     "Era5LikeGenerator",
     "FieldRequest",
+    "MachineProfile",
     "SCENARIOS",
     "SCHEMA_VERSION",
     "SHT_BACKENDS",
     "ScenarioSpec",
     "SchemaVersionError",
     "SpatialWindow",
+    "TuningPlan",
     "UnknownBackendError",
     "__version__",
+    "calibrate_machine",
     "clear_plan_cache",
     "emulate",
     "emulate_stream",

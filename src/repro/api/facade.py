@@ -225,7 +225,7 @@ def serve(
     # the default does not force an import of the serving layer; pinned
     # equal by tests).  None means unlimited, exactly as it does on
     # EmulationService.
-    cache_bytes: "int | None" = 256 * 2**20,
+    cache_bytes: "int | str | None" = 256 * 2**20,
     store: "ChunkStore | str | os.PathLike | None" = None,
     **kwargs,
 ) -> "EmulationService":
@@ -248,7 +248,11 @@ def serve(
         Root entropy of the service.
     cache_bytes:
         In-memory chunk-cache budget in bytes (default 256 MiB;
-        ``None`` for unlimited).
+        ``None`` for unlimited).  ``"auto"`` sizes the budget from the
+        host's measured :class:`~repro.tuning.MachineProfile` and the
+        artifact's chunk size (:func:`repro.tuning.
+        plan_serving_cache_bytes`) — a pure capacity knob, so served
+        bytes are identical for every setting.
     store:
         A :class:`~repro.storage.chunkstore.ChunkStore`, or a directory
         path (opened as a lossless float64 store).
@@ -262,6 +266,22 @@ def serve(
 
     if store is not None and not isinstance(store, ChunkStore):
         store = ChunkStore(store)
+    if cache_bytes == "auto":
+        # Size the cache from the measured machine profile (cached under
+        # the store root when there is one) and this artifact's year-
+        # chunk footprint.  The source is resolved once here and the
+        # resolved emulator handed on, so "auto" costs no second load.
+        from repro.obs import gauge_set
+        from repro.tuning import load_or_calibrate, plan_serving_cache_bytes
+
+        source = _resolve(source)
+        summary = source.training_summary
+        chunk_bytes = (
+            summary.grid.ntheta * summary.grid.nphi * summary.steps_per_year * 8
+        )
+        profile = load_or_calibrate(None if store is None else store.root)
+        cache_bytes = plan_serving_cache_bytes(profile, chunk_bytes)
+        gauge_set("tuning.serve.cache_bytes", float(cache_bytes))
     with span("facade.serve", seed=seed):
         return EmulationService(
             source,

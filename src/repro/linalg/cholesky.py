@@ -11,8 +11,8 @@ accuracy ablations (paper Fig. 4) measure exactly that loss.
 
 Communication metadata (who broadcasts which tile to how many consumers,
 and where precision conversions happen) is attached to the tasks so the
-distributed simulator and the performance model can price the sender-side
-versus receiver-side conversion strategies of Section V-A.
+analytic performance model can price the sender-side versus
+receiver-side conversion strategies of Section V-A.
 """
 
 from __future__ import annotations
@@ -28,7 +28,7 @@ from repro.linalg.policies import PrecisionPolicy, variant_policy
 from repro.linalg.precision import PRECISIONS, Precision
 from repro.linalg.tile import Tile
 from repro.linalg.tiled_matrix import TiledSymmetricMatrix
-from repro.runtime.communication import ConversionSide
+from repro.runtime.machine import ConversionSide
 from repro.runtime.dag import TaskGraph, build_task_graph
 from repro.runtime.executor import LocalExecutor, TileStore
 from repro.runtime.task import Task
@@ -348,7 +348,7 @@ class CholeskyPlan:
         return self.tiled
 
     def tile_bytes(self) -> dict[tuple, float]:
-        """Store-key to byte-size mapping for the simulator."""
+        """Store-key to byte-size mapping (communication-volume accounting)."""
         return self.tiled.tile_bytes_map(self.label)
 
 

@@ -164,5 +164,5 @@ class TiledSymmetricMatrix:
             tile.data = np.asarray(store[(label, i, j)]).astype(tile.precision.dtype)
 
     def tile_bytes_map(self, label: str = "A") -> dict[tuple, float]:
-        """Mapping from store keys to tile sizes in bytes (for the simulator)."""
+        """Mapping from store keys to tile sizes in bytes (byte accounting)."""
         return {(label, i, j): float(t.nbytes) for (i, j), t in self.tiles.items()}

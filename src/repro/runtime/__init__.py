@@ -1,56 +1,51 @@
-"""PaRSEC-like dynamic task runtime (simulated distributed execution).
+"""Task-graph substrate for the solver and the tuning layer.
 
 The paper's solver is expressed as a DAG of tile tasks (POTRF / TRSM /
 SYRK / GEMM) executed by the PaRSEC runtime over thousands of GPUs.  This
-subpackage reproduces that machinery at the level needed to study the same
-questions in Python:
+subpackage keeps the pieces of that machinery the rest of the package
+actually runs on:
 
 * :mod:`repro.runtime.task` — task descriptions (reads/writes, flops,
   compute precision, communication payloads).
 * :mod:`repro.runtime.dag` — dependency analysis: build the task graph from
-  data accesses, critical path, parallelism profile.
+  data accesses, critical path, parallelism profile.  The campaign cost
+  model (:mod:`repro.tuning.costmodel`) plans worker counts against these
+  profiles.
 * :mod:`repro.runtime.executor` — a *local numerical executor* that runs the
   task kernels for real (sequentially, respecting dependencies) against a
   tile store; this is what actually factorises matrices in this package.
 * :mod:`repro.runtime.machine` — descriptions of GPUs, nodes and machines
-  (per-precision peak rates, memory, interconnect).
-* :mod:`repro.runtime.communication` — point-to-point and collective
-  (broadcast-tree) cost models, including the bandwidth-first versus
-  latency-first collective priority discussed in Section III-C.
-* :mod:`repro.runtime.scheduler` — list schedulers mapping ready tasks onto
-  workers (priority- and locality-aware).
-* :mod:`repro.runtime.simulator` — a discrete-event simulator that replays a
-  task DAG on a machine model and reports makespan, achieved flop rate,
-  communication volume and memory high-water marks.
-* :mod:`repro.runtime.memory` — per-process memory accounting for
-  heterogeneous (mixed-precision) tiles, mirroring PaRSEC's dynamic
-  allocation support.
+  (per-precision peak rates, memory, interconnect) plus the collective-
+  priority and conversion-side policy enums of Sections III-C and V-A.
+
+The discrete-event scheduler/simulator layer that once lived here
+(``ListScheduler``, ``DistributedSimulator``, ``CommunicationModel``,
+``MemoryTracker``) was reachable only from its own tests and was folded
+per ROADMAP item 5: the analytic cost model in
+:mod:`repro.systems.perf_model` and the measured autotuner in
+:mod:`repro.tuning` cover the questions it answered.
 """
 
-from repro.runtime.task import Task, TileRef
+from repro.runtime.task import Task
 from repro.runtime.dag import TaskGraph, build_task_graph
 from repro.runtime.executor import LocalExecutor, TileStore
-from repro.runtime.machine import GPUSpec, NodeSpec, MachineSpec
-from repro.runtime.communication import CommunicationModel, CollectivePriority
-from repro.runtime.scheduler import ListScheduler, SchedulePolicy
-from repro.runtime.simulator import DistributedSimulator, SimulationReport
-from repro.runtime.memory import MemoryTracker
+from repro.runtime.machine import (
+    CollectivePriority,
+    ConversionSide,
+    GPUSpec,
+    MachineSpec,
+    NodeSpec,
+)
 
 __all__ = [
     "CollectivePriority",
-    "CommunicationModel",
-    "DistributedSimulator",
+    "ConversionSide",
     "GPUSpec",
-    "ListScheduler",
     "LocalExecutor",
     "MachineSpec",
-    "MemoryTracker",
     "NodeSpec",
-    "SchedulePolicy",
-    "SimulationReport",
     "Task",
     "TaskGraph",
-    "TileRef",
     "TileStore",
     "build_task_graph",
 ]

@@ -5,7 +5,7 @@ computes: it walks a task graph in dependency order and applies each task's
 kernel to a :class:`TileStore`.  On the single-node Python substrate the
 execution is sequential, but the executor still verifies that the order it
 follows respects the DAG (exactly what a dataflow runtime guarantees) and
-records an execution trace that the tests and the simulator cross-check.
+records an execution trace that the tests cross-check.
 """
 
 from __future__ import annotations

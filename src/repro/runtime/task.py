@@ -2,7 +2,7 @@
 
 A :class:`Task` is the unit of work handled by the runtime, mirroring the
 task abstraction of PaRSEC: it names the tiles it reads and writes, carries
-the arithmetic cost and compute precision used by the simulator, and
+the arithmetic cost and compute precision used by the cost models, and
 (optionally) a kernel callable that the local executor applies to a tile
 store to perform the real computation.
 """
@@ -14,7 +14,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
-__all__ = ["TileRef", "Task"]
+__all__ = ["Task"]
 
 # A tile reference is an arbitrary hashable key; tiled matrices use
 # ("A", i, j) style tuples so several operands can coexist in one store.
@@ -48,9 +48,9 @@ class Task:
     comm_bytes:
         Bytes received from remote tiles when the owner-computes mapping
         places the inputs on other processes (filled by the task generator;
-        refined by the simulator's distribution).
+        priced by the analytic communication terms of the cost models).
     priority:
-        Larger values are scheduled earlier by priority-aware schedulers
+        Larger values are scheduled earlier by priority-aware executors
         (the Cholesky generator gives panel tasks higher priority, which is
         the standard lookahead heuristic).
     metadata:

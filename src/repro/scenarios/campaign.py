@@ -57,6 +57,7 @@ from repro.scenarios.registry import resolve_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.serving.request import FieldRequest, chunk_address
 from repro.storage.chunkstore import ChunkStore
+from repro.tuning import CampaignShape, load_or_calibrate, plan_campaign_execution
 
 __all__ = [
     "CampaignManifest",
@@ -184,6 +185,13 @@ class CampaignManifest:
     #: ``{"root", "encoding", "stream_addresses": {scenario: address}}``.
     #: ``None`` for NPZ-only campaigns.
     store: "dict | None" = None
+    #: Autotuning header when the campaign ran with ``tune="auto"``: the
+    #: chosen plan (:meth:`repro.tuning.TuningPlan.to_dict`) plus
+    #: ``actual_seconds``, so predicted-vs-measured wall time is visible
+    #: per campaign.  ``None`` for untuned campaigns.  Like ``timing``,
+    #: this is provenance, not content — ``runs`` stays bit-identical
+    #: tuned or not.
+    tuning: "dict | None" = None
 
     @property
     def n_runs(self) -> int:
@@ -246,6 +254,7 @@ class CampaignManifest:
             "total_output_bytes": int(self.total_output_bytes),
             "scenarios": self.scenario_names,
             "store": None if self.store is None else dict(self.store),
+            "tuning": None if self.tuning is None else dict(self.tuning),
             "runs": [record.to_dict() for record in self.runs],
             # Timing sits in the header, next to max_workers/executor:
             # like those knobs it is provenance, not content — the
@@ -851,8 +860,9 @@ def run_campaign(
     chunk_size: int | None = None,
     seed: int = 0,
     max_workers: int | None = None,
-    executor: str = "thread",
+    executor: "str | None" = None,
     batch_size: int | None = None,
+    tune: "str | None" = None,
     include_nugget: bool = True,
     collect: str = "global-mean",
     output_dir: "str | os.PathLike | None" = None,
@@ -869,9 +879,9 @@ def run_campaign(
     encoding)``.  Run ``i`` always draws from the ``SeedSequence`` child
     with ``spawn_key == (i,)`` — or, for store-backed campaigns,
     realization ``r`` draws from the child with ``spawn_key == (r,)``
-    (see below) — so ``max_workers``, ``executor`` and ``batch_size``
-    are throughput knobs only: any combination produces bit-identical
-    runs.  (The manifest *header* records those execution knobs for
+    (see below) — so ``max_workers``, ``executor``, ``batch_size`` and
+    ``tune`` are throughput knobs only: any combination produces
+    bit-identical runs.  (The manifest *header* records those execution knobs for
     provenance, so whole-manifest JSON differs across them even though
     ``runs`` never does.)
 
@@ -893,20 +903,37 @@ def run_campaign(
         Root entropy; run ``i`` draws from the ``SeedSequence`` child with
         ``spawn_key == (i,)``, so results do not depend on ``max_workers``.
     max_workers:
-        Worker count; ``None`` or 1 runs serially.
+        Worker count; 1 runs serially.  ``None`` resolves explicitly —
+        to the autotuning plan under ``tune="auto"``, else to
+        ``os.cpu_count()`` — and the manifest header always records the
+        resolved integer, never ``null``.
     batch_size:
         Realizations of one scenario synthesised together per vectorized
-        block (``None`` or 1 keeps the per-run path).  Batched runs keep
-        their own per-run generators, so output is bit-identical to the
-        serial path; the VAR recursion and the ``O(L^3)`` inverse SHT run
-        once per block instead of once per run.  Work is sharded across
-        workers block-wise, so for small campaigns a large ``batch_size``
-        trades worker parallelism for vectorization.
+        block (``None`` or 1 keeps the per-run path; under
+        ``tune="auto"`` an unset value is chosen by the planner).
+        Batched runs keep their own per-run generators, so output is
+        bit-identical to the serial path; the VAR recursion and the
+        ``O(L^3)`` inverse SHT run once per block instead of once per
+        run.  Work is sharded across workers block-wise, so for small
+        campaigns a large ``batch_size`` trades worker parallelism for
+        vectorization.
     executor:
-        ``"thread"`` (default; generation is read-only on the fitted
-        state) or ``"process"`` (each worker process loads the artifact
-        once; an in-memory emulator source is spilled to a temporary
-        artifact for the pool's lifetime).
+        ``"thread"`` (the untuned default; generation is read-only on
+        the fitted state) or ``"process"`` (each worker process loads
+        the artifact once; an in-memory emulator source is spilled to a
+        temporary artifact for the pool's lifetime).  ``None`` under
+        ``tune="auto"`` lets the planner choose.
+    tune:
+        ``"auto"`` plans the execution knobs with the cost-model
+        autotuner (:mod:`repro.tuning`): the host's cached
+        :class:`~repro.tuning.MachineProfile` (measured on first use)
+        prices every ``(executor, max_workers, batch_size)`` candidate
+        for this campaign's shape and the argmin wins.  Knobs passed
+        explicitly are **always** honoured — the planner only fills the
+        ones left unset — and every tuned knob is bit-inert, so tuned
+        and untuned campaigns produce identical runs.  The chosen plan
+        and its predicted-vs-actual seconds land in the manifest's
+        ``tuning`` header and on the ``tuning.campaign.*`` gauges.
     include_nugget:
         Include the truncation nugget in the emulations.
     collect:
@@ -961,8 +988,10 @@ def run_campaign(
         Per-run scenario, seed spawn key, chunk layout, chunk store
         addresses, measured output bytes and the collected reduction.
     """
-    if executor not in ("thread", "process"):
+    if executor is not None and executor not in ("thread", "process"):
         raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
+    if tune not in (None, "auto"):
+        raise ValueError(f"tune must be None or 'auto', got {tune!r}")
     emulator = _resolve_emulator(source)
     if emulator.training_summary is None or not emulator.is_fitted:
         raise RuntimeError("run_campaign needs a fitted emulator")
@@ -977,8 +1006,7 @@ def run_campaign(
         raise ValueError("chunk_size must be positive")
     if batch_size is not None and int(batch_size) < 1:
         raise ValueError("batch_size must be positive")
-    workers = 1 if max_workers is None else int(max_workers)
-    if workers < 1:
+    if max_workers is not None and int(max_workers) < 1:
         raise ValueError("max_workers must be positive")
     if output_dir is not None:
         os.makedirs(os.fspath(output_dir), exist_ok=True)
@@ -1021,6 +1049,55 @@ def run_campaign(
         artifact_bytes = os.path.getsize(os.fspath(source))
     else:
         artifact_bytes = emulator.measured_artifact_bytes()
+
+    # Resolve the execution knobs.  Under ``tune="auto"`` the planner
+    # fills whichever of (executor, max_workers, batch_size) the caller
+    # left unset — explicit kwargs are pinned and always win.  Untuned,
+    # the legacy defaults apply, except that ``max_workers=None`` now
+    # resolves explicitly to the host's CPU count instead of silently
+    # meaning serial: the manifest header records the resolved integer
+    # either way.
+    tuning_header = None
+    if tune == "auto":
+        with span("tuning.plan", n_runs=len(plans)) as plan_span:
+            profile_root = (
+                store_obj.root if store_obj is not None
+                else os.path.dirname(os.fspath(source))
+                if isinstance(source, (str, os.PathLike)) else None
+            )
+            profile = load_or_calibrate(profile_root)
+            shape = CampaignShape(
+                n_scenarios=len({plan.scenario for plan in plans}),
+                n_realizations=int(n_realizations),
+                n_times=n_times,
+                steps_per_year=summary.steps_per_year,
+                lmax=emulator.config.lmax,
+                ntheta=summary.grid.ntheta,
+                nphi=summary.grid.nphi,
+                store=store_obj is not None,
+                writes_output=output_dir is not None,
+                collect=collect,
+            )
+            plan = plan_campaign_execution(
+                profile, shape,
+                executor=executor,
+                max_workers=None if max_workers is None else int(max_workers),
+                batch_size=None if batch_size is None else int(batch_size),
+            )
+            plan_span.set(
+                executor=plan.executor,
+                max_workers=plan.max_workers,
+                batch_size=plan.batch_size,
+                candidates=plan.candidates,
+            )
+        executor = plan.executor
+        workers = plan.max_workers
+        batch_size = plan.batch_size
+        tuning_header = plan.to_dict()
+        gauge_set("tuning.campaign.predicted_seconds", plan.predicted_seconds)
+    else:
+        executor = "thread" if executor is None else executor
+        workers = (os.cpu_count() or 1) if max_workers is None else int(max_workers)
 
     blocks = _batch_plans(plans, batch_size)
     total_span = span(
@@ -1099,6 +1176,10 @@ def run_campaign(
             ),
         })
 
+    if tuning_header is not None:
+        tuning_header["actual_seconds"] = float(total_span.seconds)
+        gauge_set("tuning.campaign.actual_seconds", float(total_span.seconds))
+
     store_header = None
     if store_obj is not None:
         store_header = {
@@ -1125,4 +1206,5 @@ def run_campaign(
         total_wall_seconds=total_span.seconds,
         batch_timings=batch_timings,
         store=store_header,
+        tuning=tuning_header,
     )

@@ -7,8 +7,9 @@ available here, so the benchmark harness combines
 * :mod:`repro.systems.catalog` — machine descriptions assembled from the
   paper's Section IV-D and public hardware specifications, and
 * :mod:`repro.systems.perf_model` — a calibrated analytic performance model
-  of the tile mixed-precision Cholesky (validated at small scale against
-  the discrete-event simulator of :mod:`repro.runtime.simulator`),
+  of the tile mixed-precision Cholesky, returning the same
+  :class:`~repro.tuning.costmodel.CostEstimate` currency the local
+  autotuning planner uses,
 
 to regenerate the *shape* of Figures 5-8 and Table I: which precision
 variant wins, by what factor, how weak/strong scaling behaves and where the
@@ -23,20 +24,14 @@ from repro.systems.catalog import (
     SYSTEMS,
     get_system,
 )
-from repro.systems.perf_model import (
-    CholeskyPerformanceModel,
-    PerformanceEstimate,
-    ScalingStudy,
-)
+from repro.systems.perf_model import CholeskyPerformanceModel
 
 __all__ = [
     "ALPS",
     "CholeskyPerformanceModel",
     "FRONTIER",
     "LEONARDO",
-    "PerformanceEstimate",
     "SUMMIT",
     "SYSTEMS",
-    "ScalingStudy",
     "get_system",
 ]

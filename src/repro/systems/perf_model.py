@@ -24,27 +24,27 @@ The model is *calibrated for shape, not absolute agreement*: the recorded
 constants reproduce the paper's orderings and ratios (DP < DP/SP <
 DP/SP/HP < DP/HP, the ~2x / ~3x / ~5x Summit speedups, flat weak scaling,
 strong-scaling efficiency ordering, and the cross-system ranking of
-Table I) within a reasonable margin.  The discrete-event simulator in
-:mod:`repro.runtime.simulator` provides an independent small-scale
-cross-check of the same trends.
+Table I) within a reasonable margin.
+
+Estimates are returned as the shared
+:class:`~repro.tuning.costmodel.CostEstimate` currency (``workers`` =
+GPUs here), so paper-scale projections and local campaign tuning speak
+one prediction type; scaling series are plain estimate lists normalised
+by :func:`~repro.tuning.costmodel.scaling_efficiencies`.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.linalg.flops import cholesky_flops
 from repro.linalg.policies import variant_policy
 from repro.linalg.precision import Precision
-from repro.runtime.communication import CollectivePriority, ConversionSide
-from repro.runtime.machine import MachineSpec
+from repro.runtime.machine import CollectivePriority, ConversionSide, MachineSpec
+from repro.tuning.costmodel import CostEstimate
 
 __all__ = [
-    "PerformanceEstimate",
     "CholeskyPerformanceModel",
-    "ScalingStudy",
     "band_flop_fraction",
 ]
 
@@ -98,62 +98,6 @@ def _family_efficiency(gpu_name: str) -> dict[Precision, float]:
         if family.lower() in gpu_name.lower():
             return dict(table)
     return dict(DEFAULT_KERNEL_EFFICIENCY)
-
-
-@dataclass
-class PerformanceEstimate:
-    """Predicted performance of one factorisation."""
-
-    system: str
-    nodes: int
-    gpus: int
-    matrix_size: int
-    variant: str
-    time_s: float
-    compute_s: float
-    comm_s: float
-    latency_s: float
-    total_flops: float
-
-    @property
-    def pflops(self) -> float:
-        """Achieved PFlop/s."""
-        return self.total_flops / self.time_s / 1.0e15 if self.time_s > 0 else 0.0
-
-    @property
-    def eflops(self) -> float:
-        """Achieved EFlop/s."""
-        return self.pflops / 1000.0
-
-    @property
-    def tflops_per_gpu(self) -> float:
-        """Achieved TFlop/s per GPU (Table I's normalised metric)."""
-        return self.total_flops / self.time_s / 1.0e12 / self.gpus if self.gpus else 0.0
-
-    def fraction_of_dp_peak(self, machine: MachineSpec) -> float:
-        """Achieved rate as a fraction of the allocation's DP peak."""
-        peak = machine.subset(self.nodes).theoretical_peak_pflops("fp64")
-        return self.pflops / peak if peak > 0 else 0.0
-
-
-@dataclass
-class ScalingStudy:
-    """A weak- or strong-scaling series."""
-
-    kind: str
-    variant: str
-    gpus: list[int]
-    estimates: list[PerformanceEstimate]
-
-    def per_gpu_tflops(self) -> list[float]:
-        """TFlop/s per GPU for each point."""
-        return [e.tflops_per_gpu for e in self.estimates]
-
-    def efficiencies(self, baseline_index: int = 0) -> list[float]:
-        """Per-GPU efficiency relative to the baseline point."""
-        per_gpu = self.per_gpu_tflops()
-        base = per_gpu[baseline_index] if per_gpu else 0.0
-        return [p / base if base else 0.0 for p in per_gpu]
 
 
 class CholeskyPerformanceModel:
@@ -241,8 +185,13 @@ class CholeskyPerformanceModel:
     # ------------------------------------------------------------------ #
     def estimate(
         self, matrix_size: int, nodes: int, variant: str = "DP/HP"
-    ) -> PerformanceEstimate:
-        """Predict the factorisation performance for one configuration."""
+    ) -> CostEstimate:
+        """Predict the factorisation performance for one configuration.
+
+        Returns a :class:`~repro.tuning.costmodel.CostEstimate` whose
+        ``workers`` is the allocation's GPU count and whose label names
+        the system, variant and matrix order.
+        """
         if nodes < 1:
             raise ValueError("nodes must be positive")
         allocation = self.machine.subset(min(nodes, self.machine.total_nodes))
@@ -280,18 +229,27 @@ class CholeskyPerformanceModel:
             self.latency_messages_factor * n_tiles * np.log2(max(gpus, 2)) * alpha
         )
 
-        return PerformanceEstimate(
-            system=allocation.name,
-            nodes=allocation.total_nodes,
-            gpus=gpus,
-            matrix_size=matrix_size,
-            variant=variant,
-            time_s=compute + comm + latency,
-            compute_s=compute,
-            comm_s=comm,
-            latency_s=latency,
-            total_flops=total_flops,
+        return CostEstimate(
+            label=f"{allocation.name} {variant} n={matrix_size}",
+            workers=gpus,
+            compute_s=float(compute),
+            comm_s=float(comm),
+            latency_s=float(latency),
+            flops=total_flops,
         )
+
+    def fraction_of_dp_peak(self, estimate: CostEstimate) -> float:
+        """An estimate's achieved rate as a fraction of its allocation's DP peak.
+
+        The allocation is recovered from the estimate's worker (GPU)
+        count; GPU counts produced by :meth:`estimate` are always whole
+        node multiples.
+        """
+        nodes = max(
+            int(np.ceil(estimate.workers / self.machine.node.gpus_per_node)), 1
+        )
+        peak = self.machine.subset(nodes).theoretical_peak_pflops("fp64")
+        return estimate.pflops / peak if peak > 0 else 0.0
 
     # ------------------------------------------------------------------ #
     # Derived studies
@@ -320,8 +278,12 @@ class CholeskyPerformanceModel:
         gpu_counts: list[int],
         variant: str = "DP/HP",
         elements_per_gpu: float | None = None,
-    ) -> ScalingStudy:
-        """Constant-memory-per-GPU scaling series (paper Fig. 7 left)."""
+    ) -> list[CostEstimate]:
+        """Constant-memory-per-GPU scaling series (paper Fig. 7 left).
+
+        One estimate per GPU count; normalise with
+        :func:`~repro.tuning.costmodel.scaling_efficiencies`.
+        """
         if elements_per_gpu is None:
             per_gpu_bytes = self.machine.node.gpu.memory_gb * 1.0e9 * 0.5
             elements_per_gpu = per_gpu_bytes / 8.0
@@ -331,17 +293,21 @@ class CholeskyPerformanceModel:
             # reprolint: allow[index-recovery] analytic sizing heuristic on floats, not an exact index/band-limit recovery
             n = int(np.sqrt(elements_per_gpu * g))
             estimates.append(self.estimate(n, nodes, variant))
-        return ScalingStudy(kind="weak", variant=variant, gpus=list(gpu_counts), estimates=estimates)
+        return estimates
 
     def strong_scaling(
         self,
         matrix_size: int,
         gpu_counts: list[int],
         variant: str = "DP/HP",
-    ) -> ScalingStudy:
-        """Fixed-problem-size scaling series (paper Fig. 7 right)."""
+    ) -> list[CostEstimate]:
+        """Fixed-problem-size scaling series (paper Fig. 7 right).
+
+        One estimate per GPU count; normalise with
+        :func:`~repro.tuning.costmodel.scaling_efficiencies`.
+        """
         estimates = []
         for g in gpu_counts:
             nodes = max(1, int(np.ceil(g / self.machine.node.gpus_per_node)))
             estimates.append(self.estimate(matrix_size, nodes, variant))
-        return ScalingStudy(kind="strong", variant=variant, gpus=list(gpu_counts), estimates=estimates)
+        return estimates

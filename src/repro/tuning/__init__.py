@@ -1,0 +1,51 @@
+"""Cost-model-driven autotuning of campaign and serving execution.
+
+The paper's runtime plans work against a machine model; this package is
+the local analogue, in three layers:
+
+* :mod:`repro.tuning.profile` — :class:`MachineProfile`, the measured
+  facts of one host (GEMM rates at operator shapes, thread-scaling
+  curve, process-spawn cost, store write bandwidth), produced by a short
+  deterministic micro-calibration and cached as JSON under the
+  store/artifact root;
+* :mod:`repro.tuning.costmodel` — the paper's
+  ``T_compute + T_comm + T_latency`` decomposition applied to campaign
+  shapes, structured by the runtime's block-level task DAG; the shared
+  :class:`CostEstimate` currency is also what the systems layer's
+  paper-scale Cholesky model returns;
+* :mod:`repro.tuning.planner` — deterministic argmin over the bit-inert
+  knobs (``executor``, ``max_workers``, ``batch_size``, cache bytes),
+  with explicit caller choices always pinned.
+
+Entry points for users: ``run_campaign(..., tune="auto")`` and
+``repro.serve(..., cache_bytes="auto")`` consult the planner
+automatically; :func:`calibrate_machine` / :func:`load_or_calibrate`
+manage the profile directly.  Tuning never touches output bits — every
+knob it chooses is a throughput knob, and the campaign tests pin that.
+"""
+
+from repro.tuning.costmodel import (
+    CampaignCostModel,
+    CampaignShape,
+    CostEstimate,
+    scaling_efficiencies,
+)
+from repro.tuning.planner import (
+    TuningPlan,
+    plan_campaign_execution,
+    plan_serving_cache_bytes,
+)
+from repro.tuning.profile import MachineProfile, calibrate_machine, load_or_calibrate
+
+__all__ = [
+    "CampaignCostModel",
+    "CampaignShape",
+    "CostEstimate",
+    "MachineProfile",
+    "TuningPlan",
+    "calibrate_machine",
+    "load_or_calibrate",
+    "plan_campaign_execution",
+    "plan_serving_cache_bytes",
+    "scaling_efficiencies",
+]

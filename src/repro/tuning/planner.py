@@ -1,0 +1,178 @@
+"""Plan selection: pick the cheapest bit-inert execution configuration.
+
+The planner enumerates a small deterministic candidate grid over the
+knobs that cannot change emulation output — ``executor``,
+``max_workers``, ``batch_size`` for campaigns, cache bytes for serving —
+prices every candidate with the :class:`~repro.tuning.costmodel.
+CampaignCostModel`, and returns the argmin as a :class:`TuningPlan`.
+
+Explicit caller choices always win: a knob passed to
+:func:`plan_campaign_execution` is pinned, the grid only varies the
+knobs left unset, and the plan records per knob whether it was chosen by
+the planner or by the caller.  Ties break deterministically (smallest
+predicted time, then fewest workers, then threads before processes, then
+smallest batch), so the same profile and shape always yield the same
+plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tuning.costmodel import CampaignCostModel, CampaignShape, CostEstimate
+from repro.tuning.profile import MachineProfile
+
+__all__ = [
+    "TuningPlan",
+    "plan_campaign_execution",
+    "plan_serving_cache_bytes",
+]
+
+#: Largest batch the candidate grid will propose; beyond this the
+#: stacked synthesis stops gaining from batching and peak memory grows
+#: linearly.
+_MAX_BATCH = 32
+
+#: Serving-cache clamp: never plan below 64 MiB (a handful of chunks)
+#: and never above a quarter of physical memory.
+_MIN_CACHE_BYTES = 64 * 2**20
+_CACHE_MEMORY_FRACTION = 4
+
+
+@dataclass(frozen=True)
+class TuningPlan:
+    """The planner's decision for one campaign, with its provenance.
+
+    ``chosen`` maps each knob to ``"planner"`` or ``"caller"``, so the
+    manifest header can say exactly which knobs autotuning actually
+    decided.  ``predicted_seconds`` is the winning candidate's modelled
+    wall time; :func:`~repro.scenarios.campaign.run_campaign` records it
+    next to the measured time so prediction error is visible per run.
+    """
+
+    executor: str
+    max_workers: int
+    batch_size: int
+    predicted_seconds: float
+    chosen: dict = field(default_factory=dict)
+    candidates: int = 0
+    profile_hostname: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-able plan (what lands in the campaign manifest header)."""
+        return {
+            "executor": str(self.executor),
+            "max_workers": int(self.max_workers),
+            "batch_size": int(self.batch_size),
+            "predicted_seconds": float(self.predicted_seconds),
+            "chosen": {str(k): str(v) for k, v in self.chosen.items()},
+            "candidates": int(self.candidates),
+            "profile_hostname": str(self.profile_hostname),
+        }
+
+
+def _worker_grid(cpu_count: int, n_runs: int) -> "list[int]":
+    """Powers of two up to the CPU count, capped by the run count."""
+    grid = []
+    w = 1
+    while w <= max(cpu_count, 1):
+        grid.append(min(w, max(n_runs, 1)))
+        w *= 2
+    return sorted(set(grid))
+
+
+def _batch_grid(n_realizations: int) -> "list[int]":
+    """Powers of two up to ``min(n_realizations, _MAX_BATCH)``."""
+    cap = max(min(n_realizations, _MAX_BATCH), 1)
+    grid = []
+    b = 1
+    while b <= cap:
+        grid.append(b)
+        b *= 2
+    return grid
+
+
+def plan_campaign_execution(
+    profile: MachineProfile,
+    shape: CampaignShape,
+    *,
+    executor: "str | None" = None,
+    max_workers: "int | None" = None,
+    batch_size: "int | None" = None,
+) -> TuningPlan:
+    """Pick ``(executor, max_workers, batch_size)`` for a campaign.
+
+    Knobs passed explicitly are pinned to the caller's value and marked
+    ``"caller"`` in the plan's provenance; only unset knobs are searched.
+    Every candidate is priced by :meth:`CampaignCostModel.predict
+    <repro.tuning.costmodel.CampaignCostModel.predict>` and the argmin
+    wins under the deterministic tie-break (time, workers,
+    thread-before-process, batch).
+    """
+    model = CampaignCostModel(profile)
+    executors = [executor] if executor is not None else (
+        ["thread", "process"] if profile.processes_available else ["thread"]
+    )
+    workers_grid = (
+        [int(max_workers)]
+        if max_workers is not None
+        else _worker_grid(profile.cpu_count, shape.n_runs)
+    )
+    batch_grid = (
+        [int(batch_size)] if batch_size is not None else _batch_grid(shape.n_realizations)
+    )
+
+    best: "tuple | None" = None
+    best_estimate: "CostEstimate | None" = None
+    best_knobs: "tuple[str, int, int] | None" = None
+    candidates = 0
+    for ex in executors:
+        for w in workers_grid:
+            for b in batch_grid:
+                estimate = model.predict(
+                    shape, executor=ex, max_workers=w, batch_size=b
+                )
+                candidates += 1
+                key = (estimate.total_s, w, 0 if ex == "thread" else 1, b)
+                if best is None or key < best:
+                    best = key
+                    best_estimate = estimate
+                    best_knobs = (ex, w, b)
+
+    ex, w, b = best_knobs
+    return TuningPlan(
+        executor=ex,
+        max_workers=w,
+        batch_size=b,
+        predicted_seconds=best_estimate.total_s,
+        chosen={
+            "executor": "caller" if executor is not None else "planner",
+            "max_workers": "caller" if max_workers is not None else "planner",
+            "batch_size": "caller" if batch_size is not None else "planner",
+        },
+        candidates=candidates,
+        profile_hostname=profile.hostname,
+    )
+
+
+def plan_serving_cache_bytes(
+    profile: MachineProfile,
+    chunk_bytes: int,
+    *,
+    expected_streams: int = 4,
+    chunks_per_stream: int = 16,
+) -> int:
+    """Pick a serving chunk-cache budget from the host's memory.
+
+    Sizes the cache to the expected working set (``expected_streams``
+    concurrently-served streams times ``chunks_per_stream`` hot chunks),
+    clamped between 64 MiB and a quarter of physical memory — the same
+    never-trust-the-model guardrails a human operator would apply.
+    """
+    working_set = max(int(chunk_bytes), 1) * expected_streams * chunks_per_stream
+    ceiling = (
+        profile.memory_bytes // _CACHE_MEMORY_FRACTION
+        if profile.memory_bytes > 0
+        else _MIN_CACHE_BYTES * 16
+    )
+    return int(min(max(working_set, _MIN_CACHE_BYTES), max(ceiling, _MIN_CACHE_BYTES)))

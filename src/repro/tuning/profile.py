@@ -1,0 +1,370 @@
+"""Measured machine profiles: the facts the campaign planner runs on.
+
+The paper's runtime schedules against a *machine model* (per-GPU rates,
+interconnect bandwidth, memory).  On the Python substrate the analogous
+facts are measured, not catalogued: how fast this host multiplies
+matrices at the operator shapes the emulator actually runs, how GEMM
+throughput scales across pool threads, what spawning a worker process
+costs, and how fast the chunk-store root accepts bytes.
+
+:func:`calibrate_machine` measures all four with a short deterministic
+micro-benchmark (fixed seeds, fixed shapes; every region timed through
+:func:`repro.obs.span`, so calibration shows up in traces and the
+``tuning.calibrate.*`` histograms like any other instrumented path).
+The result is a :class:`MachineProfile` — a frozen value object with the
+uniform ``state_dict()`` / ``from_state()`` protocol — cached as JSON
+under the store/artifact root by :func:`load_or_calibrate`, which
+re-calibrates (instead of crashing) whenever the cached file is missing,
+corrupt, from another schema, or from another host.
+
+Calibration measures wall time, so two calibrations of one host differ —
+but a profile never touches emulation *output*: the planner it feeds
+chooses only bit-inert execution knobs (``executor``, ``max_workers``,
+``batch_size``, cache bytes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import span
+
+__all__ = [
+    "MachineProfile",
+    "calibrate_machine",
+    "load_or_calibrate",
+    "profile_path",
+]
+
+#: Schema stamp of the cached profile JSON; bump on layout changes so
+#: stale caches re-calibrate instead of being misread.
+PROFILE_SCHEMA = 1
+
+#: File name of the cached profile under a store/artifact root.
+PROFILE_FILENAME = "machine_profile.json"
+
+#: Square GEMM orders measured by the calibration.  They bracket the
+#: per-order operator shapes of the synthesis path at the band-limits
+#: this package runs (lmax 16-256) — the cost model interpolates
+#: between them and batching moves the effective size up this curve.
+_GEMM_SIZES = (64, 128, 256, 512)
+
+#: Repetitions per timed GEMM region (the median-free mean over a few
+#: reps smooths scheduler noise without a long calibration).
+_GEMM_REPS = 3
+
+#: Worker counts probed for the thread-scaling curve (clamped to the
+#: host's CPU count).
+_THREAD_POINTS = (1, 2, 4, 8)
+
+#: Bytes written by the chunk-store write-bandwidth probe.
+_WRITE_PROBE_BYTES = 4 * 2**20
+
+#: Spawn cost recorded when process pools are unusable on the host
+#: (sandboxes without fork/spawn support); large enough that the
+#: planner never prefers the process executor.
+_SPAWN_UNAVAILABLE_S = 60.0
+
+
+def _noop() -> int:
+    """Picklable no-op shipped through a process pool by the spawn probe."""
+    return 0
+
+
+def _gemm_workload(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic operands for the ``n x n`` GEMM probe."""
+    rng = np.random.default_rng(np.random.SeedSequence(0))
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    return a, b
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Measured execution facts of one host.
+
+    Attributes
+    ----------
+    schema:
+        Layout stamp (:data:`PROFILE_SCHEMA`); mismatches re-calibrate.
+    hostname / cpu_count / memory_bytes:
+        Host identity and capacity; a cached profile from a different
+        host or core count is stale by definition.
+    gemm_gflops:
+        Measured dense-GEMM rate (GFlop/s) per square matrix order.
+    thread_efficiency:
+        Measured parallel efficiency of threaded GEMM per worker count
+        (1.0 = perfect scaling; NumPy releases the GIL, so this is a
+        real memory-bandwidth curve, not a GIL artifact).
+    spawn_seconds:
+        Round-trip cost of spawning one process-pool worker (pool
+        start + trivial task + shutdown); :data:`_SPAWN_UNAVAILABLE_S`
+        when the host cannot run process pools at all.
+    write_bandwidth_bytes:
+        Measured sequential write bandwidth (bytes/s) at the profiled
+        root — the rate campaign chunks land in the store.
+    """
+
+    schema: int
+    hostname: str
+    cpu_count: int
+    memory_bytes: int
+    gemm_gflops: dict
+    thread_efficiency: dict
+    spawn_seconds: float
+    write_bandwidth_bytes: float
+
+    # ------------------------------------------------------------------ #
+    # Uniform persistence protocol
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """JSON-able state; :meth:`from_state` round-trips it bit-exactly."""
+        return {
+            "schema": int(self.schema),
+            "hostname": str(self.hostname),
+            "cpu_count": int(self.cpu_count),
+            "memory_bytes": int(self.memory_bytes),
+            "gemm_gflops": {str(k): float(v) for k, v in self.gemm_gflops.items()},
+            "thread_efficiency": {
+                str(k): float(v) for k, v in self.thread_efficiency.items()
+            },
+            "spawn_seconds": float(self.spawn_seconds),
+            "write_bandwidth_bytes": float(self.write_bandwidth_bytes),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MachineProfile":
+        """Rebuild a profile from :meth:`state_dict` output."""
+        return cls(
+            schema=int(state["schema"]),
+            hostname=str(state["hostname"]),
+            cpu_count=int(state["cpu_count"]),
+            memory_bytes=int(state["memory_bytes"]),
+            gemm_gflops={int(k): float(v) for k, v in state["gemm_gflops"].items()},
+            thread_efficiency={
+                int(k): float(v) for k, v in state["thread_efficiency"].items()
+            },
+            spawn_seconds=float(state["spawn_seconds"]),
+            write_bandwidth_bytes=float(state["write_bandwidth_bytes"]),
+        )
+
+    def save(self, path: "str | os.PathLike") -> str:
+        """Atomically write the profile JSON to ``path``; returns the path.
+
+        ``repr``-roundtrip floats keep the JSON bit-exact under
+        :meth:`load`, and the temp-file + ``os.replace`` dance keeps a
+        concurrent reader from ever seeing a half-written profile.
+        """
+        path = os.fspath(path)
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".profile-", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.state_dict(), handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - replace failed
+                os.unlink(tmp)
+        return path
+
+    @classmethod
+    def load(cls, path: "str | os.PathLike") -> "MachineProfile":
+        """Read a profile written by :meth:`save` (raises on corruption)."""
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            return cls.from_state(json.load(handle))
+
+    # ------------------------------------------------------------------ #
+    # Interpolated queries (what the cost model asks)
+    # ------------------------------------------------------------------ #
+    def gemm_rate_gflops(self, n: int) -> float:
+        """Measured GEMM rate at order ``n`` (log-linear interpolation).
+
+        Orders outside the calibrated range clamp to the nearest
+        measured point — extrapolating a roofline beyond measurement
+        would let the planner trust a rate nothing ever achieved.
+        """
+        sizes = sorted(int(k) for k in self.gemm_gflops)
+        if not sizes:
+            raise ValueError("profile has no GEMM calibration points")
+        rates = [float(self.gemm_gflops[k]) for k in sizes]
+        if n <= sizes[0]:
+            return rates[0]
+        if n >= sizes[-1]:
+            return rates[-1]
+        return float(
+            np.interp(np.log(float(n)), np.log(np.asarray(sizes, dtype=np.float64)),
+                      np.asarray(rates, dtype=np.float64))
+        )
+
+    def parallel_efficiency(self, workers: int) -> float:
+        """Measured thread-scaling efficiency at ``workers`` (clamped)."""
+        points = sorted(int(k) for k in self.thread_efficiency)
+        if not points:
+            return 1.0
+        values = [float(self.thread_efficiency[k]) for k in points]
+        if workers <= points[0]:
+            return values[0]
+        if workers >= points[-1]:
+            return values[-1]
+        return float(
+            np.interp(float(workers), np.asarray(points, dtype=np.float64),
+                      np.asarray(values, dtype=np.float64))
+        )
+
+    @property
+    def processes_available(self) -> bool:
+        """Whether the spawn probe managed to run a process pool at all."""
+        return self.spawn_seconds < _SPAWN_UNAVAILABLE_S
+
+
+def profile_path(root: "str | os.PathLike | None") -> str:
+    """The cached-profile path under ``root``.
+
+    ``None`` falls back to a per-user directory under the system temp
+    root — callers without a store/artifact root still share one cache.
+    """
+    if root is None:
+        root = os.path.join(tempfile.gettempdir(), "repro-tuning")
+    return os.path.join(os.fspath(root), PROFILE_FILENAME)
+
+
+def _measure_gemm(sizes: "tuple[int, ...]") -> dict:
+    """GFlop/s of ``a @ b`` per square order, mean over warm repetitions."""
+    rates: dict = {}
+    for n in sizes:
+        a, b = _gemm_workload(n)
+        out = a @ b  # warm-up: page in operands, settle BLAS threads
+        flops = 2.0 * float(n) ** 3 * _GEMM_REPS
+        with span("tuning.calibrate.gemm", n=n, reps=_GEMM_REPS) as sp:
+            for _ in range(_GEMM_REPS):
+                out = a @ b
+        del out
+        rates[int(n)] = flops / max(sp.seconds, 1e-9) / 1.0e9
+    return rates
+
+
+def _measure_thread_scaling(points: "tuple[int, ...]", cpu_count: int) -> dict:
+    """Parallel efficiency of concurrent GEMMs per thread count."""
+    n = _GEMM_SIZES[-2]
+    a, b = _gemm_workload(n)
+    grid = sorted({w for w in points if w <= cpu_count} | {1})
+
+    def one(_: int) -> float:
+        return float((a @ b)[0, 0])
+
+    seconds: dict = {}
+    for workers in grid:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(one, range(workers)))  # warm the pool
+            with span("tuning.calibrate.threads", workers=workers) as sp:
+                # Each worker multiplies once; perfect scaling keeps the
+                # wall time flat as workers grow.
+                list(pool.map(one, range(workers)))
+        seconds[workers] = max(sp.seconds, 1e-9)
+    base = seconds[1]
+    return {w: min(base / seconds[w], 1.0) for w in grid}
+
+
+def _measure_spawn() -> float:
+    """Round-trip seconds of a one-worker process pool (or the sentinel)."""
+    try:
+        with span("tuning.calibrate.spawn") as sp:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                pool.submit(_noop).result(timeout=30)
+        return max(sp.seconds, 1e-6)
+    except Exception:  # pragma: no cover - host-dependent
+        # No fork/spawn on this host (restricted sandboxes): record the
+        # sentinel so the planner never chooses the process executor.
+        return _SPAWN_UNAVAILABLE_S
+
+
+def _measure_write_bandwidth(root: "str | os.PathLike | None") -> float:
+    """Sequential write bytes/s at ``root`` (or the temp dir)."""
+    directory = os.path.dirname(profile_path(root))
+    os.makedirs(directory, exist_ok=True)
+    payload = np.zeros(_WRITE_PROBE_BYTES, dtype=np.uint8).tobytes()
+    fd, tmp = tempfile.mkstemp(prefix=".write-probe-", dir=directory)
+    try:
+        with span("tuning.calibrate.write", bytes=_WRITE_PROBE_BYTES) as sp:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return _WRITE_PROBE_BYTES / max(sp.seconds, 1e-9)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _memory_bytes() -> int:
+    """Physical memory of the host (0 when the OS will not say)."""
+    try:
+        return int(os.sysconf("SC_PAGE_SIZE")) * int(os.sysconf("SC_PHYS_PAGES"))
+    except (ValueError, OSError, AttributeError):  # pragma: no cover
+        return 0
+
+
+def calibrate_machine(root: "str | os.PathLike | None" = None) -> MachineProfile:
+    """Measure this host and return a fresh :class:`MachineProfile`.
+
+    The micro-calibration is deterministic in everything but the clock:
+    fixed seeds, fixed shapes, a fixed probe schedule.  It takes a
+    fraction of a second plus one process spawn, and every region is
+    timed through :func:`repro.obs.span` (``tuning.calibrate.*``), so a
+    trace of a tuned campaign shows exactly what calibration cost.
+
+    ``root`` is only used by the write-bandwidth probe (measured where
+    the campaign will actually write); pass the store/artifact root when
+    there is one.
+    """
+    with span("tuning.calibrate") as sp:
+        cpu_count = os.cpu_count() or 1
+        profile = MachineProfile(
+            schema=PROFILE_SCHEMA,
+            hostname=socket.gethostname(),
+            cpu_count=cpu_count,
+            memory_bytes=_memory_bytes(),
+            gemm_gflops=_measure_gemm(_GEMM_SIZES),
+            thread_efficiency=_measure_thread_scaling(_THREAD_POINTS, cpu_count),
+            spawn_seconds=_measure_spawn(),
+            write_bandwidth_bytes=_measure_write_bandwidth(root),
+        )
+        sp.set(hostname=profile.hostname, cpu_count=cpu_count)
+    return profile
+
+
+def load_or_calibrate(
+    root: "str | os.PathLike | None" = None, *, force: bool = False
+) -> MachineProfile:
+    """The host's profile from the cache under ``root``, measuring if needed.
+
+    A usable cached profile is returned as-is; a missing, unparsable,
+    wrong-schema or foreign-host file triggers a fresh calibration whose
+    result atomically replaces the cache.  ``force=True`` always
+    re-measures.  Corruption is a cache miss, never an error: the cache
+    only ever saves time.
+    """
+    path = profile_path(root)
+    if not force:
+        try:
+            profile = MachineProfile.load(path)
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+            profile = None
+        if (
+            profile is not None
+            and profile.schema == PROFILE_SCHEMA
+            and profile.hostname == socket.gethostname()
+            and profile.cpu_count == (os.cpu_count() or 1)
+        ):
+            return profile
+    profile = calibrate_machine(root)
+    profile.save(path)
+    return profile

@@ -15,6 +15,7 @@ from pathlib import Path
 
 from tools.reprolint import Baseline, lint_paths, lint_source
 from tools.reprolint.cli import DEFAULT_BASELINE, DEFAULT_PATHS
+from tools.reprolint.deadsymbols import dead_symbol_report, render_report
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -26,6 +27,35 @@ class TestRepoTreeIsClean:
         assert report.scanned > 50  # the whole tree, not an empty glob
         rendered = "\n".join(f.render() for f in report.findings)
         assert report.ok, f"reprolint findings on the tree:\n{rendered}"
+
+    def test_tuning_package_lints_clean_without_baseline(self):
+        """The new package gets no grandfathered findings: it must pass
+        every rule with no baseline at all."""
+        report = lint_paths(REPO_ROOT, ["src/repro/tuning"])
+        assert report.scanned >= 4  # __init__, profile, costmodel, planner
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.ok, f"reprolint findings on repro.tuning:\n{rendered}"
+
+    def test_runtime_systems_tuning_have_no_unused_exports(self):
+        """The PR-6 fold promise, kept: after deleting the tests-only
+        scheduler/simulator half, every public symbol of the runtime,
+        systems and tuning packages has a caller outside its own
+        package."""
+        report = dead_symbol_report(
+            REPO_ROOT,
+            ["src/repro/runtime", "src/repro/systems", "src/repro/tuning"],
+        )
+        unused = {
+            package: [
+                symbol
+                for symbol, entry in data["symbols"].items()
+                if entry["status"] == "unused"
+            ]
+            for package, data in report["packages"].items()
+        }
+        assert all(not symbols for symbols in unused.values()), (
+            "fully-unused public exports:\n" + render_report(report)
+        )
 
     def test_baseline_stays_minimal_and_justified(self):
         """Every baseline entry must carry a reason; staleness is enforced

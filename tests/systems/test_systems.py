@@ -15,6 +15,7 @@ from repro.systems import (
 )
 from repro.systems.catalog import PAPER_NODE_COUNTS
 from repro.systems.perf_model import band_flop_fraction
+from repro.tuning import scaling_efficiencies
 
 
 class TestCatalog:
@@ -73,7 +74,7 @@ class TestPerformanceModel:
     def test_dp_fraction_of_peak_reasonable(self):
         model = CholeskyPerformanceModel(SUMMIT)
         estimate = model.estimate(8_390_000, 2048, "DP")
-        frac = estimate.fraction_of_dp_peak(SUMMIT.subset(2048))
+        frac = model.fraction_of_dp_peak(estimate)
         assert 0.4 < frac < 0.75  # paper: 61.7%
 
     def test_table1_cross_system_ordering(self):
@@ -82,7 +83,7 @@ class TestPerformanceModel:
         sizes = {"frontier": 8_390_000, "alps": 10_490_000, "leonardo": 8_390_000, "summit": 6_290_000}
         for name, machine in SYSTEMS.items():
             est = CholeskyPerformanceModel(machine).estimate(sizes[name], 1024, "DP/HP")
-            per_gpu[name] = est.tflops_per_gpu
+            per_gpu[name] = est.tflops_per_worker
         assert per_gpu["alps"] > per_gpu["leonardo"]
         assert per_gpu["alps"] > per_gpu["frontier"] > per_gpu["summit"]
         assert per_gpu["alps"] == pytest.approx(93.8, rel=0.25)
@@ -105,15 +106,15 @@ class TestPerformanceModel:
 
     def test_weak_scaling_roughly_flat(self):
         model = CholeskyPerformanceModel(SUMMIT)
-        study = model.weak_scaling([384, 1536, 6144, 12288], "DP/HP")
-        eff = study.efficiencies()
+        series = model.weak_scaling([384, 1536, 6144, 12288], "DP/HP")
+        eff = scaling_efficiencies(series)
         assert all(0.7 < e <= 1.2 for e in eff)
 
     def test_strong_scaling_efficiency_decreases(self):
         model = CholeskyPerformanceModel(SUMMIT)
         size = model.memory_bound_matrix_size(512)
-        study = model.strong_scaling(size, [3072, 6144, 12288], "DP")
-        eff = study.efficiencies()
+        series = model.strong_scaling(size, [3072, 6144, 12288], "DP")
+        eff = scaling_efficiencies(series)
         assert eff[0] == pytest.approx(1.0)
         assert eff[1] < 1.0 and eff[2] < eff[1]
         assert 0.4 < eff[2] < 0.75  # paper: 55%

@@ -14,7 +14,7 @@ from repro.core import ClimateEmulator, EmulatorConfig
 from repro.data import Era5LikeConfig, Era5LikeGenerator
 from repro.data.forcing import scenario_forcing
 from repro.linalg import MixedPrecisionCholesky
-from repro.runtime import DistributedSimulator
+from repro.runtime import LocalExecutor, build_task_graph
 from repro.stats import consistency_report
 from repro.storage import StorageScenario, savings_report
 from repro.systems import SUMMIT, CholeskyPerformanceModel
@@ -110,17 +110,19 @@ class TestCovarianceSolverIntegration:
             result = MixedPrecisionCholesky(tile_size=25, variant=variant, jitter=1e-6).factorize(cov)
             assert result.factor_error(reference.lower()) < tol
 
-    def test_simulated_execution_of_emulator_cholesky(self, pipeline):
-        """The covariance factorisation DAG runs on the machine simulator."""
+    def test_runtime_execution_of_emulator_cholesky(self, pipeline):
+        """The covariance factorisation DAG executes through the runtime."""
         from repro.linalg import TiledSymmetricMatrix, generate_cholesky_tasks
 
         _, emulator, _ = pipeline
         cov = emulator.spectral_model.covariance
         tiled = TiledSymmetricMatrix.from_dense(cov, 25, "DP/HP")
         tasks = generate_cholesky_tasks(tiled)
-        report = DistributedSimulator(SUMMIT.subset(1), workers=6).run(tasks, tiled.tile_bytes_map())
-        assert report.makespan_s > 0
-        assert report.n_tasks == len(tasks)
+        graph = build_task_graph(tasks)
+        trace = LocalExecutor().run(graph, tiled.as_tile_store())
+        assert trace.order == [t.name for t in graph.topological_order()]
+        assert len(trace.order) == len(tasks)
+        assert graph.max_parallelism() >= 1
 
     def test_performance_model_for_paper_scale_covariance(self):
         """L = 5219 gives a ~27.2M-order covariance, the paper's largest run."""

@@ -1,0 +1,247 @@
+"""Tests of the autotuning layer: profile, cost model, planner, integration."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data import Era5LikeConfig, Era5LikeGenerator
+from repro.scenarios.campaign import run_campaign
+from repro.tuning import (
+    CampaignCostModel,
+    CampaignShape,
+    CostEstimate,
+    MachineProfile,
+    calibrate_machine,
+    load_or_calibrate,
+    plan_campaign_execution,
+    plan_serving_cache_bytes,
+    scaling_efficiencies,
+)
+from repro.tuning.profile import PROFILE_SCHEMA, profile_path
+
+
+@pytest.fixture(scope="module")
+def profile(tmp_path_factory):
+    """One real calibration per test module (it measures the host)."""
+    root = tmp_path_factory.mktemp("tuning")
+    return load_or_calibrate(root)
+
+
+@pytest.fixture(scope="module")
+def emulator():
+    sims = Era5LikeGenerator(
+        Era5LikeConfig(lmax=8, n_years=2, steps_per_year=4, n_ensemble=2),
+        seed=3,
+    ).generate()
+    return repro.fit(sims, lmax=8, n_harmonics=1, var_order=1, tile_size=30)
+
+
+SHAPE = CampaignShape(
+    n_scenarios=2, n_realizations=8, n_times=48, steps_per_year=12,
+    lmax=16, ntheta=24, nphi=48, store=True,
+)
+
+
+class TestMachineProfile:
+    def test_state_dict_round_trip_bit_exact(self, profile):
+        rebuilt = MachineProfile.from_state(profile.state_dict())
+        assert rebuilt == profile
+        # The measured floats survive exactly, not approximately.
+        assert rebuilt.state_dict() == profile.state_dict()
+
+    def test_json_round_trip_bit_exact(self, profile, tmp_path):
+        path = profile.save(tmp_path / "machine_profile.json")
+        assert MachineProfile.load(path) == profile
+
+    def test_cached_profile_is_reused(self, tmp_path):
+        first = load_or_calibrate(tmp_path)
+        second = load_or_calibrate(tmp_path)
+        # Identical measurements prove the cache was read, not re-measured
+        # (two calibrations of one host never time identically).
+        assert second == first
+
+    def test_corrupt_cache_recalibrates(self, tmp_path):
+        path = profile_path(tmp_path)
+        os.makedirs(tmp_path, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        fresh = load_or_calibrate(tmp_path)
+        assert fresh.schema == PROFILE_SCHEMA
+        # The corrupt file was atomically replaced by the fresh profile.
+        assert MachineProfile.load(path) == fresh
+
+    def test_stale_schema_recalibrates(self, profile, tmp_path):
+        stale = profile.state_dict()
+        stale["schema"] = PROFILE_SCHEMA + 1
+        path = profile_path(tmp_path)
+        os.makedirs(tmp_path, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(stale, handle)
+        fresh = load_or_calibrate(tmp_path)
+        assert fresh.schema == PROFILE_SCHEMA
+
+    def test_foreign_host_recalibrates(self, profile, tmp_path):
+        foreign = profile.state_dict()
+        foreign["hostname"] = profile.hostname + "-elsewhere"
+        path = profile_path(tmp_path)
+        os.makedirs(tmp_path, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(foreign, handle)
+        fresh = load_or_calibrate(tmp_path)
+        assert fresh.hostname == profile.hostname
+
+    def test_gemm_rate_interpolates_and_clamps(self, profile):
+        sizes = sorted(profile.gemm_gflops)
+        assert profile.gemm_rate_gflops(1) == profile.gemm_gflops[sizes[0]]
+        assert profile.gemm_rate_gflops(10**6) == profile.gemm_gflops[sizes[-1]]
+        mid = profile.gemm_rate_gflops((sizes[0] + sizes[1]) // 2)
+        low, high = sorted(
+            (profile.gemm_gflops[sizes[0]], profile.gemm_gflops[sizes[1]])
+        )
+        assert low <= mid <= high
+
+    def test_parallel_efficiency_clamped(self, profile):
+        assert profile.parallel_efficiency(1) == pytest.approx(1.0)
+        assert 0.0 < profile.parallel_efficiency(10**3) <= 1.0
+
+
+class TestCostModel:
+    def test_estimate_terms_and_rates(self, profile):
+        est = CampaignCostModel(profile).predict(
+            SHAPE, executor="thread", max_workers=2, batch_size=4
+        )
+        assert est.total_s == pytest.approx(
+            est.compute_s + est.comm_s + est.latency_s
+        )
+        assert est.total_s > 0 and est.flops == SHAPE.total_flops
+        assert est.flops_per_s > 0
+
+    def test_graph_matches_block_structure(self, profile):
+        model = CampaignCostModel(profile)
+        graph = model.build_graph(SHAPE, batch_size=4)
+        # 2 scenarios x (8 realizations / batch 4) blocks, each with a
+        # synth task and (store campaign) a commit task.
+        assert graph.n_tasks == 2 * 2 * 2
+        # Commits serialise on the shared manifest: the graph can never
+        # be wider than the synth fan-out.
+        assert graph.max_parallelism() <= 4
+
+    def test_store_writes_price_a_comm_term(self, profile):
+        model = CampaignCostModel(profile)
+        stored = model.predict(SHAPE, executor="thread", max_workers=2)
+        dry = model.predict(
+            CampaignShape(**{**SHAPE.__dict__, "store": False}),
+            executor="thread", max_workers=2,
+        )
+        assert stored.comm_s > dry.comm_s
+
+    def test_process_executor_pays_spawn_latency(self, profile):
+        model = CampaignCostModel(profile)
+        thread = model.predict(SHAPE, executor="thread", max_workers=4)
+        process = model.predict(SHAPE, executor="process", max_workers=4)
+        assert process.latency_s > thread.latency_s
+
+    def test_scaling_efficiencies_normalises(self):
+        series = [
+            CostEstimate("a", 1, 1.0, 0.0, 0.0, 100.0),
+            CostEstimate("b", 2, 1.0, 0.0, 0.0, 150.0),
+        ]
+        eff = scaling_efficiencies(series)
+        assert eff[0] == pytest.approx(1.0)
+        assert eff[1] == pytest.approx(0.75)
+        assert scaling_efficiencies([]) == []
+
+
+class TestPlanner:
+    def test_plan_is_deterministic(self, profile):
+        first = plan_campaign_execution(profile, SHAPE)
+        second = plan_campaign_execution(profile, SHAPE)
+        assert first == second
+
+    def test_explicit_knobs_are_pinned(self, profile):
+        plan = plan_campaign_execution(
+            profile, SHAPE, executor="thread", max_workers=3
+        )
+        assert plan.executor == "thread" and plan.max_workers == 3
+        assert plan.chosen["executor"] == "caller"
+        assert plan.chosen["max_workers"] == "caller"
+        assert plan.chosen["batch_size"] == "planner"
+
+    def test_plan_respects_host_limits(self, profile):
+        plan = plan_campaign_execution(profile, SHAPE)
+        assert 1 <= plan.max_workers <= max(profile.cpu_count, 1)
+        assert 1 <= plan.batch_size <= SHAPE.n_realizations
+        assert plan.candidates > 0
+        assert plan.profile_hostname == profile.hostname
+
+    def test_serving_cache_clamps(self, profile):
+        tiny = plan_serving_cache_bytes(profile, 1)
+        assert tiny == 64 * 2**20
+        huge = plan_serving_cache_bytes(profile, 2**40)
+        if profile.memory_bytes > 0:
+            assert huge <= max(profile.memory_bytes // 4, 64 * 2**20)
+
+
+class TestCampaignIntegration:
+    def test_tuned_campaign_bit_identical_to_untuned(self, emulator):
+        tuned = run_campaign(emulator, ["ssp-low", "ssp-high"], 3, tune="auto")
+        plain = run_campaign(emulator, ["ssp-low", "ssp-high"], 3)
+        assert [r.to_dict() for r in tuned.runs] == [
+            r.to_dict() for r in plain.runs
+        ]
+        tc, pc = tuned.collected(), plain.collected()
+        assert set(tc) == set(pc)
+        for key in tc:
+            np.testing.assert_array_equal(tc[key], pc[key])
+
+    def test_explicit_kwargs_override_tune_auto(self, emulator):
+        manifest = run_campaign(
+            emulator, ["ssp-low"], 2, tune="auto",
+            executor="thread", max_workers=3, batch_size=2,
+        )
+        assert manifest.executor == "thread"
+        assert manifest.max_workers == 3
+        assert manifest.batch_size == 2
+        assert manifest.tuning["chosen"] == {
+            "executor": "caller",
+            "max_workers": "caller",
+            "batch_size": "caller",
+        }
+
+    def test_tuning_header_records_prediction_and_actual(self, emulator):
+        manifest = run_campaign(emulator, ["ssp-low"], 2, tune="auto")
+        header = manifest.to_dict()["tuning"]
+        assert header["predicted_seconds"] > 0
+        assert header["actual_seconds"] > 0
+        assert header["executor"] in ("thread", "process")
+        assert isinstance(header["max_workers"], int)
+
+    def test_untuned_manifest_has_no_tuning_header(self, emulator):
+        manifest = run_campaign(emulator, ["ssp-low"], 1)
+        assert manifest.tuning is None
+        assert manifest.to_dict()["tuning"] is None
+
+    def test_max_workers_none_resolves_to_explicit_int(self, emulator):
+        """Regression: the header never records null workers."""
+        for kwargs in ({}, {"tune": "auto"}):
+            manifest = run_campaign(emulator, ["ssp-low"], 2, **kwargs)
+            header = manifest.to_dict()
+            assert isinstance(header["max_workers"], int)
+            assert header["max_workers"] >= 1
+            payload = json.loads(manifest.to_json())
+            assert payload["max_workers"] is not None
+
+    def test_invalid_tune_rejected(self, emulator):
+        with pytest.raises(ValueError, match="tune"):
+            run_campaign(emulator, ["ssp-low"], 1, tune="always")
+
+    def test_serve_cache_bytes_auto(self, emulator):
+        service = repro.serve(emulator, cache_bytes="auto")
+        reference = repro.serve(emulator)
+        request = repro.FieldRequest("ssp-low", realization=0, year_start=0)
+        np.testing.assert_array_equal(
+            service.get(request), reference.get(request)
+        )
